@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Benches print the same rows/series the paper's tables and figures report.
+Because pytest captures stdout, :func:`emit` writes through to the real
+terminal *and* archives the text under ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference exact runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print ``text`` to the real terminal and save it to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

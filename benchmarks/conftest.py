@@ -1,0 +1,162 @@
+"""Session-scoped artifacts shared by the benchmark suite.
+
+Building testcases, characterizing the technology, training predictors
+and running full optimization flows are expensive; each is computed once
+per session and reused by every bench that needs it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.framework import (
+    FrameworkConfig,
+    GlobalLocalOptimizer,
+    GlobalOptConfig,
+    TechnologyCache,
+)
+from repro.core.local_opt import LocalOptConfig
+from repro.core.ml.dataset import generate_dataset
+from repro.core.ml.training import train_predictor
+from repro.core.objective import SkewVariationProblem
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.cls2 import build_cls2
+from repro.testcases.mini import build_mini
+
+#: Optimization effort used by the Table-5 flows (tuned so the full
+#: three-testcase matrix completes in tens of minutes, not hours).
+FLOW_CONFIG = FrameworkConfig(
+    global_config=GlobalOptConfig(
+        sweep_factors=(1.0, 1.5), max_iterations=2, batch_size=8
+    ),
+    local_config=LocalOptConfig(
+        max_iterations=8,
+        max_batches_per_iteration=2,
+        buffers_per_iteration=20,
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def mini():
+    design = build_mini()
+    return design, SkewVariationProblem.create(design)
+
+
+@pytest.fixture(scope="session")
+def designs():
+    """The paper's three testcases (scaled)."""
+    return {
+        "CLS1v1": build_cls1(1),
+        "CLS1v2": build_cls1(2),
+        "CLS2v1": build_cls2(),
+    }
+
+
+@pytest.fixture(scope="session")
+def problems(designs):
+    return {
+        name: SkewVariationProblem.create(design)
+        for name, design in designs.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def tech_caches(designs):
+    """One TechnologyCache per distinct corner set."""
+    caches = {}
+    for name, design in designs.items():
+        key = tuple(c.name for c in design.library.corners)
+        if key not in caches:
+            caches[key] = TechnologyCache(design.library)
+    return caches
+
+
+def tech_for(design, tech_caches):
+    return tech_caches[tuple(c.name for c in design.library.corners)]
+
+
+@pytest.fixture(scope="session")
+def predictors(designs):
+    """One trained HSM predictor per distinct corner set (paper: per corner)."""
+    out = {}
+    for design in designs.values():
+        key = tuple(c.name for c in design.library.corners)
+        if key in out:
+            continue
+        samples = generate_dataset(
+            design.library, n_cases=24, moves_per_case=14, seed=1500
+        )
+        out[key] = train_predictor(design.library, samples, kind="hsm")
+    return out
+
+
+def predictor_for(design, predictors):
+    return predictors[tuple(c.name for c in design.library.corners)]
+
+
+@pytest.fixture(scope="session")
+def flow_results(designs, problems, tech_caches, predictors):
+    """Table 5's full matrix: every testcase x every flow.
+
+    This is the most expensive fixture in the repository; Figure-8/9
+    benches reuse its outputs instead of re-running flows.  The global
+    phase is shared between the ``global`` row and the ``global-local``
+    row (the chained flow continues from the same global result, exactly
+    as the paper's framework does).
+    """
+    from repro.core.framework import FlowResult, GlobalOptimizer
+    from repro.core.local_opt import LocalOptimizer
+
+    results = {}
+    for name, design in designs.items():
+        problem = problems[name]
+        tech = tech_for(design, tech_caches)
+        predictor = predictor_for(design, predictors)
+        per_flow = {}
+
+        t0 = time.time()
+        global_result = GlobalOptimizer(
+            problem, tech, FLOW_CONFIG.global_config
+        ).run()
+        t_global = time.time() - t0
+        per_flow["global"] = (
+            FlowResult(
+                flow="global",
+                tree=global_result.tree,
+                timing=problem.evaluate(global_result.tree),
+                global_result=global_result,
+            ),
+            t_global,
+        )
+
+        local = LocalOptimizer(problem, predictor, FLOW_CONFIG.local_config)
+
+        t0 = time.time()
+        local_only = local.run(design.tree)
+        per_flow["local"] = (
+            FlowResult(
+                flow="local",
+                tree=local_only.tree,
+                timing=problem.evaluate(local_only.tree),
+                local_result=local_only,
+            ),
+            time.time() - t0,
+        )
+
+        t0 = time.time()
+        local_after = local.run(global_result.tree)
+        per_flow["global-local"] = (
+            FlowResult(
+                flow="global-local",
+                tree=local_after.tree,
+                timing=problem.evaluate(local_after.tree),
+                global_result=global_result,
+                local_result=local_after,
+            ),
+            t_global + (time.time() - t0),
+        )
+        results[name] = per_flow
+    return results

@@ -1,0 +1,96 @@
+"""Ablation: LP Constraint (11) — the ECO-feasibility ratio envelopes.
+
+DESIGN.md calls out Constraint (11) as the design choice that keeps LP
+targets on the manifold of realizable inverter-pair configurations.
+This ablation solves the LP with and without the constraint on the MINI
+design and realizes both solutions through the same ECO flow.
+
+Expected shape: without (11) the LP *promises* a lower variation bound
+(it is less constrained) but the realized result is worse and its
+per-arc realization error larger — the promise is not implementable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit
+
+from repro.analysis.report import render_table
+from repro.core.eco_flow import LPGuidedECO
+from repro.core.framework import TechnologyCache
+from repro.core.lp import GlobalSkewLP, build_model_data
+
+
+def _realize(problem, design, data, solution, tech):
+    timer = problem.timer
+    timings = {
+        c.name: timer.analyze_corner(design.tree, c)
+        for c in design.library.corners
+    }
+    eco = LPGuidedECO(design.library, tech.stage_luts, design.legalizer)
+    trial = design.tree.clone()
+    report = eco.realize(trial, data, solution, timings)
+    outcome = problem.evaluate(trial)
+    new_t = {
+        c.name: timer.analyze_corner(trial, c) for c in design.library.corners
+    }
+    names = [c.name for c in design.library.corners]
+    errors = []
+    for r in report:
+        arc = data.arcs[r.arc_index]
+        real = [
+            new_t[n].arrival[arc.end] - new_t[n].arrival[arc.start]
+            for n in names
+        ]
+        errors.append(float(np.mean(np.abs(np.subtract(real, r.targets_ps)))))
+    mean_err = float(np.mean(errors)) if errors else 0.0
+    return outcome, len(report), mean_err
+
+
+def test_ablation_constraint11(benchmark, mini):
+    design, problem = mini
+    tech = TechnologyCache(design.library)
+    data = build_model_data(
+        design.tree, problem.timer, design.pairs, problem.alphas, tech.stage_luts
+    )
+
+    with_c11 = GlobalSkewLP(data, tech.ratio_bounds)
+    without_c11 = GlobalSkewLP(data, {})  # no envelopes -> no Eq. (11)
+
+    rows = []
+    results = {}
+    for label, lp in (("with (11)", with_c11), ("without (11)", without_c11)):
+        floor = lp.minimize_variation()
+        solution = lp.minimize_changes(floor.achieved_variation_bound * 1.1)
+        outcome, arcs, mean_err = _realize(problem, design, data, solution, tech)
+        results[label] = (floor.achieved_variation_bound, outcome.total_variation, mean_err)
+        rows.append(
+            [
+                label,
+                f"{floor.achieved_variation_bound:.0f}",
+                str(arcs),
+                f"{mean_err:.1f}",
+                f"{outcome.total_variation:.0f}",
+            ]
+        )
+
+    base = problem.baseline.total_variation
+    rows.append(["baseline", "-", "-", "-", f"{base:.0f}"])
+    emit(
+        "ablation_constraint11",
+        render_table(
+            "Ablation: Constraint (11) on MINI — LP promise vs realized",
+            ["variant", "LP bound ps", "arcs changed", "mean arc err ps", "realized ps"],
+            rows,
+        ),
+    )
+
+    promised_with, realized_with, err_with = results["with (11)"]
+    promised_without, realized_without, err_without = results["without (11)"]
+    # The unconstrained LP always promises at least as low a bound...
+    assert promised_without <= promised_with + 1e-6
+    # ...but realization is no better, and per-arc error is larger.
+    assert err_without >= err_with - 0.5
+    assert realized_without >= realized_with - 1e-6
+
+    benchmark(lambda: with_c11.minimize_variation())

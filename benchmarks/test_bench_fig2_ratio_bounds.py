@@ -1,0 +1,76 @@
+"""Figure 2: cross-corner stage-delay ratio clouds and fitted envelopes.
+
+Regenerates, for corner pairs (c1, c0) and (c3, c0), the scatter of
+stage-delay ratios versus nominal delay density, and the polynomial
+upper/lower envelopes used by LP Constraint (11).
+
+Paper shape: the ratios form a bounded band; gate-dominated stages (high
+delay density) show the largest spread from nominal, wire-dominated ones
+are pulled toward the BEOL-only ratio; every achievable configuration
+lies inside the fitted envelopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit
+
+from repro.analysis.report import render_series, render_table
+from repro.tech.library import default_library
+from repro.tech.ratio_bounds import fit_ratio_bounds, sample_ratio_cloud
+
+
+def test_fig2_ratio_bounds(benchmark):
+    library = default_library(("c0", "c1", "c3"))
+    nominal = library.corners.nominal
+    lines = []
+    rows = []
+    for other in ("c1", "c3"):
+        corner = library.corners.by_name(other)
+        cloud = benchmark.pedantic(
+            sample_ratio_cloud,
+            args=(library, corner, nominal),
+            rounds=1,
+            iterations=1,
+        ) if other == "c1" else sample_ratio_cloud(library, corner, nominal)
+        bounds = fit_ratio_bounds(cloud)
+        density = np.asarray(cloud.density)
+        ratio = np.asarray(cloud.ratio)
+        inside = np.mean(
+            [
+                bounds.lower(d) - 1e-9 <= r <= bounds.upper(d) + 1e-9
+                for d, r in zip(density, ratio)
+            ]
+        )
+        assert inside == 1.0  # envelope covers every sample
+        rows.append(
+            [
+                f"({other}, c0)",
+                str(len(ratio)),
+                f"{ratio.min():.3f}",
+                f"{ratio.max():.3f}",
+                f"{density.min():.3f}",
+                f"{density.max():.3f}",
+            ]
+        )
+        # Envelope curves sampled at 8 densities (the figure's red lines).
+        xs = np.linspace(density.min(), density.max(), 8)
+        lines.append(
+            render_series(
+                f"Figure 2 envelope ({other}, c0): density -> [lower, upper]",
+                "delay density ps/um",
+                "ratio bounds",
+                [(float(x), bounds.lower(float(x)), bounds.upper(float(x))) for x in xs],
+            )
+        )
+        if other == "c1":
+            assert ratio.min() > 1.0  # slow corner: always slower
+        else:
+            assert ratio.max() < 1.0  # fast corner: always faster
+
+    text = render_table(
+        "Figure 2: stage-delay ratio clouds",
+        ["corner pair", "samples", "min ratio", "max ratio", "min density", "max density"],
+        rows,
+    )
+    emit("fig2_ratio_bounds", text + "\n\n" + "\n\n".join(lines))

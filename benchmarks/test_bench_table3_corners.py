@@ -1,0 +1,42 @@
+"""Table 3: the signoff corner definitions, plus library characterization.
+
+Regenerates the corner table and benchmarks the once-per-technology
+library characterization cost.
+"""
+
+from __future__ import annotations
+
+from _util import emit
+
+from repro.analysis.report import render_table
+from repro.tech.corners import default_corners
+from repro.tech.derating import DerateModel
+from repro.tech.library import default_library
+
+
+def test_table3_corners(benchmark):
+    corners = default_corners()
+    derate = DerateModel(reference=corners.nominal)
+    rows = []
+    for corner in corners:
+        rows.append(
+            [
+                corner.name,
+                corner.process,
+                f"{corner.voltage:.2f}V",
+                f"{corner.temperature_c:g}C",
+                corner.beol,
+                f"{derate.gate_factor(corner):.3f}",
+            ]
+        )
+    emit(
+        "table3_corners",
+        render_table(
+            "Table 3: corners (with modeled gate-delay derates vs c0)",
+            ["corner", "process", "voltage", "temperature", "BEOL", "gate derate"],
+            rows,
+        ),
+    )
+
+    library = benchmark(default_library)
+    assert len(library.sizes) == 5

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Related-work baseline: crosslink insertion vs tree optimization.
+
+The paper's Section 2 discusses non-tree methods (Rajaram et al.,
+Mittal & Koh) that reduce skew variability by inserting crosslinks, at
+the cost of extra wire and power.  This example quantifies that trade-off
+on the MINI design: greedy model-verified crosslink insertion versus the
+paper's local optimization, comparing variation reduction *and* wire
+overhead.
+
+    python examples/crosslink_baseline.py
+"""
+
+from __future__ import annotations
+
+from repro import SkewVariationProblem, render_table, train_predictor
+from repro.core.crosslinks import insert_crosslinks
+from repro.core.local_opt import LocalOptConfig, LocalOptimizer
+from repro.testcases.mini import build_mini
+
+
+def main() -> None:
+    design = build_mini()
+    problem = SkewVariationProblem.create(design)
+    base = problem.baseline.total_variation
+    base_wire = design.tree.total_wirelength()
+    print(f"baseline: {base:.1f} ps, {base_wire:.0f} um of clock wire")
+
+    link_result = insert_crosslinks(
+        design, problem.timer, max_links=10, max_length_um=250.0,
+        alphas=problem.alphas,
+    )
+
+    predictor = train_predictor(design.library, [], "full_rsmt_d2m")
+    local = LocalOptimizer(
+        problem, predictor, LocalOptConfig(max_iterations=8)
+    ).run()
+    local_wire = local.tree.total_wirelength() - base_wire
+
+    rows = [
+        [
+            "crosslinks (Rajaram-style)",
+            f"{link_result.total_variation_ps:.0f}",
+            f"{100 * (base - link_result.total_variation_ps) / base:.1f}%",
+            f"+{link_result.added_wirelength_um:.0f} um "
+            f"({100 * link_result.added_wirelength_um / base_wire:.1f}%)",
+            f"{len(link_result.links)} links",
+        ],
+        [
+            "local optimization (paper)",
+            f"{local.final_objective_ps:.0f}",
+            f"{100 * (base - local.final_objective_ps) / base:.1f}%",
+            f"{local_wire:+.0f} um ({100 * local_wire / base_wire:.1f}%)",
+            f"{len(local.history)} moves",
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            "Variation reduction vs wire overhead (MINI)",
+            ["method", "variation ps", "reduction", "wire overhead", "changes"],
+            rows,
+        )
+    )
+    print(
+        "\nThe paper's point (Section 2): crosslinks work but spend wire; "
+        "tree-based global/local optimization reduces variation with "
+        "negligible routing overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""repro — multi-mode multi-corner clock skew variation reduction.
+
+A from-scratch Python reproduction of Han, Kahng, Lee, Li, Nath,
+"A Global-Local Optimization Framework for Simultaneous Multi-Mode
+Multi-Corner Clock Skew Variation Reduction" (DAC 2015), including every
+substrate the paper's flow drives through commercial tools: a synthetic
+28nm-like technology (:mod:`repro.tech`), clock tree netlist and CTS
+(:mod:`repro.netlist`, :mod:`repro.cts`), routing estimation
+(:mod:`repro.route`), a golden STA engine (:mod:`repro.sta`), ECO
+operators with legalization (:mod:`repro.eco`), testcase generators
+(:mod:`repro.testcases`), and the paper's contribution itself
+(:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import build_cls1, SkewVariationProblem, GlobalLocalOptimizer
+    from repro import generate_dataset, train_predictor
+
+    design = build_cls1(1)
+    problem = SkewVariationProblem.create(design)
+    samples = generate_dataset(design.library, n_cases=20, moves_per_case=16)
+    predictor = train_predictor(design.library, samples, kind="hsm")
+    result = GlobalLocalOptimizer(problem, predictor).run("global-local")
+    print(problem.reduction_percent(result.timing), "% reduction")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# Public API surface, resolved lazily to keep import time low and avoid
+# import-order coupling between subpackages.
+_EXPORTS = {
+    # Technology
+    "Corner": "repro.tech.corners",
+    "CornerSet": "repro.tech.corners",
+    "default_corners": "repro.tech.corners",
+    "Library": "repro.tech.library",
+    "default_library": "repro.tech.library",
+    "characterize_stage_luts": "repro.tech.stage_lut",
+    "fit_all_ratio_bounds": "repro.tech.ratio_bounds",
+    # Netlist
+    "ClockTree": "repro.netlist.tree",
+    "NodeKind": "repro.netlist.tree",
+    "extract_arcs": "repro.netlist.arcs",
+    "DatapathPair": "repro.netlist.sink_pairs",
+    # STA
+    "GoldenTimer": "repro.sta.timer",
+    "TimingResult": "repro.sta.timer",
+    "SkewAnalysis": "repro.sta.skew",
+    # Design / testcases
+    "Design": "repro.design",
+    "build_cls1": "repro.testcases.cls1",
+    "build_cls2": "repro.testcases.cls2",
+    # CTS
+    "CTSConfig": "repro.cts.synthesis",
+    "synthesize_tree": "repro.cts.synthesis",
+    # Core
+    "SkewVariationProblem": "repro.core.objective",
+    "GlobalSkewLP": "repro.core.lp",
+    "build_model_data": "repro.core.lp",
+    "sweep_upper_bound": "repro.core.lp",
+    "LPGuidedECO": "repro.core.eco_flow",
+    "Move": "repro.core.moves",
+    "MoveType": "repro.core.moves",
+    "enumerate_moves": "repro.core.moves",
+    "LocalOptimizer": "repro.core.local_opt",
+    "LocalOptConfig": "repro.core.local_opt",
+    "GlobalOptimizer": "repro.core.framework",
+    "GlobalOptConfig": "repro.core.framework",
+    "GlobalLocalOptimizer": "repro.core.framework",
+    "TechnologyCache": "repro.core.framework",
+    # ML
+    "generate_dataset": "repro.core.ml.dataset",
+    "train_predictor": "repro.core.ml.training",
+    "evaluate_predictor": "repro.core.ml.training",
+    "DeltaLatencyPredictor": "repro.core.ml.training",
+    # Extensions
+    "WorstSkewLP": "repro.core.baselines",
+    "insert_crosslinks": "repro.core.crosslinks",
+    "fit_location_model": "repro.core.placement_model",
+    "refine_buffers": "repro.core.placement_model",
+    "save_tree": "repro.netlist.serialize",
+    "load_tree": "repro.netlist.serialize",
+    # Analysis
+    "table5_row": "repro.analysis.metrics",
+    "Table5Row": "repro.analysis.metrics",
+    "clock_tree_power": "repro.analysis.power",
+    "render_table": "repro.analysis.report",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    module_path = _EXPORTS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_path)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,1 @@
+"""Metrics, power, distributions, and report rendering for the benches."""

@@ -1,0 +1,91 @@
+"""Distribution analyses: skew ratios (Figure 9) and error histograms.
+
+Figure 9 plots, over sink pairs, the ratio of each pair's skew at a
+non-nominal corner to its skew at the nominal corner, before and after
+optimization; the optimized distribution is visibly tighter.  The same
+histogram machinery renders the predictor error distributions of
+Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.sta.skew import pair_skew
+
+#: Pairs with |nominal skew| below this (ps) are excluded from ratios.
+RATIO_MIN_SKEW_PS = 1.0
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned distribution with summary statistics."""
+
+    edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    mean: float
+    std: float
+    iqr: float
+    span: float  # max - min of the samples
+
+    @staticmethod
+    def of(samples: Sequence[float], bins: int = 20) -> "Histogram":
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            return Histogram((0.0, 1.0), (0,), 0.0, 0.0, 0.0, 0.0)
+        counts, edges = np.histogram(data, bins=bins)
+        q75, q25 = np.percentile(data, [75, 25])
+        return Histogram(
+            edges=tuple(float(e) for e in edges),
+            counts=tuple(int(c) for c in counts),
+            mean=float(data.mean()),
+            std=float(data.std()),
+            iqr=float(q75 - q25),
+            span=float(data.max() - data.min()),
+        )
+
+    def render(self, width: int = 40, label: str = "") -> str:
+        """ASCII bar rendering (one line per bin)."""
+        lines = [label] if label else []
+        peak = max(self.counts) or 1
+        for lo, hi, count in zip(self.edges, self.edges[1:], self.counts):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"  [{lo:8.3f}, {hi:8.3f}) {count:5d} {bar}")
+        lines.append(
+            f"  mean={self.mean:.3f} std={self.std:.3f} "
+            f"iqr={self.iqr:.3f} span={self.span:.3f}"
+        )
+        return "\n".join(lines)
+
+
+def skew_ratios(
+    latencies: Mapping[str, Mapping[int, float]],
+    pairs: Sequence[Tuple[int, int]],
+    corner_name: str,
+    nominal_name: str = "c0",
+    min_skew_ps: float = RATIO_MIN_SKEW_PS,
+) -> List[float]:
+    """Per-pair skew ratio ``skew(corner) / skew(nominal)`` (Figure 9)."""
+    out: List[float] = []
+    for pair in pairs:
+        base = pair_skew(latencies[nominal_name], pair)
+        if abs(base) < min_skew_ps:
+            continue
+        out.append(pair_skew(latencies[corner_name], pair) / base)
+    return out
+
+
+def ratio_histogram(
+    latencies: Mapping[str, Mapping[int, float]],
+    pairs: Sequence[Tuple[int, int]],
+    corner_name: str,
+    nominal_name: str = "c0",
+    bins: int = 20,
+) -> Histogram:
+    """Binned Figure-9 distribution for one corner pairing."""
+    return Histogram.of(
+        skew_ratios(latencies, pairs, corner_name, nominal_name), bins=bins
+    )

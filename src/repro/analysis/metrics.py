@@ -1,0 +1,73 @@
+"""Table-5 metrics: one row per (testcase, flow).
+
+``variation`` is the sum of normalized skew variations over the selected
+critical sink pairs (reported in ns with a normalization against the
+original tree, like the paper's ``[norm]`` column); ``skew`` is the local
+skew per corner; ``#cells``, ``power`` and ``area`` describe the clock
+network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.power import ClockPower, clock_tree_power
+from repro.design import Design
+from repro.sta.timer import TimingResult
+from repro.units import ps_to_ns
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One experimental-results row."""
+
+    testcase: str
+    flow: str
+    variation_ns: float
+    variation_norm: float
+    local_skew_ps: Dict[str, float]
+    cell_count: int
+    power_mw: float
+    area_um2: float
+
+    def formatted(self) -> List[str]:
+        """Cell strings in the paper's column order."""
+        skews = " ".join(
+            f"{name}:{value:.0f}" for name, value in sorted(self.local_skew_ps.items())
+        )
+        return [
+            self.testcase,
+            self.flow,
+            f"{self.variation_ns:.2f} [{self.variation_norm:.2f}]",
+            skews,
+            str(self.cell_count),
+            f"{self.power_mw:.3f}",
+            f"{self.area_um2:.0f}",
+        ]
+
+
+def table5_row(
+    design: Design,
+    flow: str,
+    timing: TimingResult,
+    baseline_variation_ps: Optional[float] = None,
+) -> Table5Row:
+    """Compute one Table-5 row for the design's *current* tree state.
+
+    ``baseline_variation_ps`` normalizes the variation column; pass the
+    original tree's value (defaults to this timing's own, i.e. norm 1.0).
+    """
+    variation = timing.total_variation
+    base = baseline_variation_ps if baseline_variation_ps else variation
+    power = clock_tree_power(design)
+    return Table5Row(
+        testcase=design.name,
+        flow=flow,
+        variation_ns=ps_to_ns(variation),
+        variation_norm=variation / base if base > 0 else 1.0,
+        local_skew_ps=dict(timing.skews.local_skew),
+        cell_count=design.clock_cell_count(),
+        power_mw=power.total_mw,
+        area_um2=design.clock_cell_area_um2(),
+    )

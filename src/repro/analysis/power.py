@@ -1,0 +1,78 @@
+"""Clock-tree power model.
+
+Reports the quantities a signoff power tool (the paper uses PT-PX) would
+attribute to the clock network at the nominal corner:
+
+* **switching power** — total net capacitance (wire + pins) charged every
+  cycle: ``P = C_total * Vdd^2 * f`` (a clock toggles once per cycle per
+  edge pair, activity 1);
+* **internal power** — per-cell internal energy per output toggle;
+* **leakage** — per-cell static power.
+
+Units: capacitance fF, voltage V, frequency GHz -> power in uW
+(fF * V^2 * GHz = 1e-15 * 1e9 W = 1e-6 W); results are reported in mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design import Design
+from repro.netlist.tree import ClockTree
+from repro.tech.library import Library
+
+#: Default clock frequency for power reporting (GHz).
+DEFAULT_CLOCK_GHZ = 1.0
+
+
+@dataclass(frozen=True)
+class ClockPower:
+    """Decomposed clock-tree power (mW)."""
+
+    switching_mw: float
+    internal_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.switching_mw + self.internal_mw + self.leakage_mw
+
+
+def total_net_capacitance_ff(tree: ClockTree, library: Library) -> float:
+    """All switched capacitance: routed wire plus every input pin."""
+    wire = library.wire(library.corners.nominal)
+    total = wire.segment_cap(tree.total_wirelength())
+    for node in tree.nodes():
+        if node.is_sink:
+            total += library.sink_cap_ff
+        elif node.is_buffer:
+            # Both inverters of the pair present input capacitance; the
+            # internal node between them also toggles every cycle.
+            total += 2.0 * library.input_cap_ff(node.size)
+    total += library.input_cap_ff(library.source_drive_size)
+    return total
+
+
+def clock_tree_power(
+    design: Design, frequency_ghz: float = DEFAULT_CLOCK_GHZ
+) -> ClockPower:
+    """Clock power of the design's current tree at the nominal corner."""
+    library = design.library
+    nominal = library.corners.nominal
+    cap_ff = total_net_capacitance_ff(design.tree, library)
+    switching_uw = cap_ff * nominal.voltage**2 * frequency_ghz
+
+    internal_uw = 0.0
+    leakage_mw = 0.0
+    sizes = [design.tree.node(b).size for b in design.tree.buffers()]
+    sizes.append(library.source_drive_size)
+    for size in sizes:
+        cell = library.cell(size, nominal)
+        internal_uw += 2.0 * cell.internal_energy_fj * frequency_ghz
+        leakage_mw += 2.0 * cell.leakage_mw
+
+    return ClockPower(
+        switching_mw=switching_uw / 1000.0,
+        internal_mw=internal_uw / 1000.0,
+        leakage_mw=leakage_mw,
+    )

@@ -1,0 +1,69 @@
+"""ASCII table and series renderers used by the benchmark harness.
+
+Every bench prints the same rows/series the paper's table or figure
+reports, through these helpers, so ``pytest benchmarks/ --benchmark-only``
+output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt(headers), sep]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    points: Sequence[Sequence[float]],
+    annotations: Sequence[str] = (),
+) -> str:
+    """One (x, y[, ...]) row per line — the data behind a figure."""
+    lines = [f"== {title} ==", f"{x_label} -> {y_label}"]
+    for i, point in enumerate(points):
+        note = f"  # {annotations[i]}" if i < len(annotations) else ""
+        lines.append("  " + ", ".join(f"{v:.3f}" for v in point) + note)
+    return "\n".join(lines)
+
+
+def render_scatter_summary(
+    title: str, predicted: Sequence[float], actual: Sequence[float]
+) -> str:
+    """Correlation summary of a predicted-vs-actual scatter (Figure 5a)."""
+    import numpy as np
+
+    p = np.asarray(list(predicted), dtype=float)
+    a = np.asarray(list(actual), dtype=float)
+    if p.size < 2:
+        return f"== {title} ==\n  (not enough points)"
+    corr = float(np.corrcoef(p, a)[0, 1])
+    mae = float(np.mean(np.abs(p - a)))
+    rmse = float(np.sqrt(np.mean((p - a) ** 2)))
+    return "\n".join(
+        [
+            f"== {title} ==",
+            f"  n={p.size} corr={corr:.4f} MAE={mae:.3f}ps RMSE={rmse:.3f}ps",
+            f"  predicted range [{p.min():.1f}, {p.max():.1f}] "
+            f"actual range [{a.min():.1f}, {a.max():.1f}]",
+        ]
+    )

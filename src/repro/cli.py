@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro corners
+    python -m repro build --testcase MINI --out tree.json
+    python -m repro optimize --testcase MINI --flow global-local
+    python -m repro train --cases 20 --moves 12
+
+The CLI wraps the same public API the examples use; it exists so a
+downstream user can drive the flows without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.metrics import table5_row
+from repro.analysis.report import render_table
+
+TESTCASES = ("MINI", "CLS1v1", "CLS1v2", "CLS2v1")
+
+
+def _build_design(name: str):
+    if name == "MINI":
+        from repro.testcases.mini import build_mini
+
+        return build_mini()
+    if name in ("CLS1v1", "CLS1v2"):
+        from repro.testcases.cls1 import build_cls1
+
+        return build_cls1(1 if name == "CLS1v1" else 2)
+    if name == "CLS2v1":
+        from repro.testcases.cls2 import build_cls2
+
+        return build_cls2()
+    raise SystemExit(f"unknown testcase {name!r}; choose from {TESTCASES}")
+
+
+def cmd_corners(args: argparse.Namespace) -> int:
+    from repro.tech.corners import default_corners
+    from repro.tech.derating import DerateModel
+
+    corners = default_corners()
+    derate = DerateModel(reference=corners.nominal)
+    rows = [
+        [
+            c.name,
+            c.process,
+            f"{c.voltage:.2f}V",
+            f"{c.temperature_c:g}C",
+            c.beol,
+            f"{derate.gate_factor(c):.3f}",
+        ]
+        for c in corners
+    ]
+    print(
+        render_table(
+            "Signoff corners (paper Table 3)",
+            ["corner", "process", "voltage", "temp", "BEOL", "gate derate"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    design = _build_design(args.testcase)
+    print(
+        f"{design.name}: {len(design.tree.sinks())} sinks, "
+        f"{len(design.tree.buffers())} buffers, "
+        f"{len(design.pairs)} critical pairs, "
+        f"wirelength {design.tree.total_wirelength():.0f} um"
+    )
+    if args.out:
+        from repro.netlist.serialize import save_tree
+
+        save_tree(design.tree, args.out)
+        print(f"tree written to {args.out}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.framework import (
+        FrameworkConfig,
+        GlobalLocalOptimizer,
+        GlobalOptConfig,
+        TechnologyCache,
+    )
+    from repro.core.local_opt import LocalOptConfig
+    from repro.core.ml.training import train_predictor
+    from repro.core.objective import SkewVariationProblem
+
+    design = _build_design(args.testcase)
+    problem = SkewVariationProblem.create(design)
+    base = problem.baseline
+    print(f"baseline sum of skew variations: {base.total_variation:.1f} ps")
+
+    predictor = None
+    if args.flow in ("local", "global-local"):
+        if args.predictor == "analytical":
+            predictor = train_predictor(design.library, [], "full_rsmt_d2m")
+        else:
+            from repro.core.ml.dataset import generate_dataset
+
+            print("training delta-latency predictor...")
+            samples = generate_dataset(
+                design.library, n_cases=args.train_cases, moves_per_case=12
+            )
+            predictor = train_predictor(design.library, samples, args.predictor)
+
+    config = FrameworkConfig(
+        global_config=GlobalOptConfig(sweep_factors=(1.0, 1.15)),
+        local_config=LocalOptConfig(
+            max_iterations=args.local_iterations,
+            buffers_per_iteration=args.buffers_per_iteration,
+        ),
+    )
+    t0 = time.time()
+    result = GlobalLocalOptimizer(
+        problem, predictor, TechnologyCache(design.library), config
+    ).run(args.flow)
+    print(f"{args.flow} flow finished in {time.time() - t0:.0f}s")
+
+    rows = [
+        table5_row(design, "orig", base).formatted(),
+        table5_row(
+            design.with_tree(result.tree),
+            args.flow,
+            result.timing,
+            baseline_variation_ps=base.total_variation,
+        ).formatted(),
+    ]
+    print(
+        render_table(
+            f"{design.name} results",
+            ["testcase", "flow", "variation ns [norm]", "skew ps", "#cells", "power mW", "area um2"],
+            rows,
+        )
+    )
+    print(f"reduction: {problem.reduction_percent(result.timing):.1f}%")
+    if args.out:
+        from repro.netlist.serialize import save_tree
+
+        save_tree(result.tree, args.out)
+        print(f"optimized tree written to {args.out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.ml.dataset import generate_dataset
+    from repro.core.ml.training import evaluate_predictor, train_predictor
+    from repro.tech.library import default_library
+
+    library = default_library(("c0", "c1", "c3"))
+    samples = generate_dataset(
+        library, n_cases=args.cases, moves_per_case=args.moves
+    )
+    split = int(len(samples) * 0.8)
+    predictor = train_predictor(library, samples[:split], args.predictor)
+    reports = evaluate_predictor(predictor, samples[split:])
+    rows = [
+        [name, f"{r.mean_abs_error_ps:.2f}", f"{r.mean_abs_percent_error:.1f}%"]
+        for name, r in reports.items()
+    ]
+    print(
+        render_table(
+            f"{args.predictor} accuracy on {len(samples) - split} held-out moves",
+            ["corner", "MAE ps", "mean |%err|"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-corner clock skew variation reduction (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("corners", help="print the signoff corner table")
+
+    p_build = sub.add_parser("build", help="build a testcase")
+    p_build.add_argument("--testcase", default="MINI", choices=TESTCASES)
+    p_build.add_argument("--out", default=None, help="write the tree as JSON")
+
+    p_opt = sub.add_parser("optimize", help="run an optimization flow")
+    p_opt.add_argument("--testcase", default="MINI", choices=TESTCASES)
+    p_opt.add_argument(
+        "--flow", default="global-local", choices=("global", "local", "global-local")
+    )
+    p_opt.add_argument(
+        "--predictor", default="hsm", choices=("hsm", "ann", "svr", "analytical")
+    )
+    p_opt.add_argument("--train-cases", type=int, default=16)
+    p_opt.add_argument("--local-iterations", type=int, default=10)
+    p_opt.add_argument("--buffers-per-iteration", type=int, default=24)
+    p_opt.add_argument("--out", default=None)
+
+    p_train = sub.add_parser("train", help="train and score a predictor")
+    p_train.add_argument("--cases", type=int, default=20)
+    p_train.add_argument("--moves", type=int, default=12)
+    p_train.add_argument(
+        "--predictor", default="hsm", choices=("hsm", "ann", "svr")
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "corners": cmd_corners,
+        "build": cmd_build,
+        "optimize": cmd_optimize,
+        "train": cmd_train,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.objective` — the Skew Variation Reduction Problem.
+* :mod:`repro.core.lp` — the global LP (Equations (4)-(11)) with U-sweep.
+* :mod:`repro.core.eco_flow` — Algorithm 1, the LP-guided ECO flow.
+* :mod:`repro.core.ml` — machine-learning delta-latency predictors.
+* :mod:`repro.core.moves` — Table-2 candidate local moves.
+* :mod:`repro.core.local_opt` — Algorithm 2, the iterative local flow.
+* :mod:`repro.core.framework` — the global / local / global-local flows.
+"""

@@ -1,0 +1,386 @@
+"""Algorithm 1: the LP-guided ECO flow.
+
+For every arc the LP wants changed, search the characterized stage-delay
+LUTs for the (gate size, inter-pair wirelength, pair count) whose
+*estimated* multi-corner delays best match the LP targets — the error
+metric combines per-corner absolute error with cross-corner difference
+error, exactly as in the paper's Lines 8-13 — then realize the winner
+with :func:`repro.eco.operators.rebuild_arc` (rip-up, uniform re-insert,
+U-shape detour when extra wirelength is required) and legalize.
+
+Estimation details that keep the desired-vs-actual gap small (the paper's
+stated goal for this flow):
+
+* the start anchor's own pair delay is re-evaluated against its *new* net
+  load (the rebuilt first hop replaces the old first edge), not reused
+  from the baseline;
+* wire hops use the same distributed D2M evaluation as the golden timer;
+* slew is chased through the chain (driver output -> PERI degradation ->
+  LUTdetail first stage -> steady state);
+* wire-only candidates (count = 0) treat total wirelength as the free
+  variable and solve for the best route length, so balancing detours that
+  the CTS left on an arc are preserved rather than silently ripped out.
+
+What remains unmodeled — legalization snap, slew interaction with
+neighbouring nets, LUT grid snapping — is exactly the residual the paper
+also accepts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lp import LPModelData, LPSolution
+from repro.eco.legalize import Legalizer
+from repro.eco.operators import ArcRebuildResult, rebuild_arc
+from repro.geometry import BBox
+from repro.netlist.arcs import Arc
+from repro.netlist.tree import ClockTree
+from repro.sta.gate import inverter_pair_timing
+from repro.sta.slew import wire_degraded_slew
+from repro.sta.timer import CornerTiming
+from repro.tech.library import Library
+from repro.tech.stage_lut import StageDelayLUT, hop_wire_delay
+
+
+@dataclass(frozen=True)
+class ECOConfig:
+    """Tuning of the Algorithm-1 search."""
+
+    delta_threshold_ps: float = 0.5
+    count_window: int = 2  # the paper's u_est +- 2
+    wl_stride: int = 1  # stride over the characterized wirelength axis
+    max_pair_count: int = 40
+    wire_extension_steps: Tuple[float, ...] = tuple(
+        float(x) for x in range(0, 301, 15)
+    )
+
+
+@dataclass(frozen=True)
+class ArcECO:
+    """One realized arc change."""
+
+    arc_index: int
+    size: int
+    pair_count: int
+    spacing_um: float
+    estimate_error_ps: float
+    targets_ps: Tuple[float, ...]
+    estimates_ps: Tuple[float, ...]
+    realized: ArcRebuildResult
+
+
+class LPGuidedECO:
+    """Realizes an LP solution on a clock tree (Algorithm 1)."""
+
+    def __init__(
+        self,
+        library: Library,
+        stage_luts: Mapping[str, StageDelayLUT],
+        legalizer: Legalizer,
+        region: Optional[BBox] = None,
+        config: ECOConfig = ECOConfig(),
+    ) -> None:
+        self._library = library
+        self._luts = stage_luts
+        self._legalizer = legalizer
+        self._region = region or legalizer.region
+        self._config = config
+
+    # ------------------------------------------------------------------
+    def realize(
+        self,
+        tree: ClockTree,
+        data: LPModelData,
+        solution: LPSolution,
+        timings: Mapping[str, CornerTiming],
+        arc_indices: Optional[Sequence[int]] = None,
+    ) -> List[ArcECO]:
+        """Apply the LP's delay changes to ``tree`` (mutates it).
+
+        ``timings`` must describe the *current* state of ``tree`` (they
+        provide the anchors' loads/slews for estimation, and the current
+        arc delays that the no-op candidate competes with).  Pass
+        ``arc_indices`` to realize a subset — the batched-verification
+        driver in :mod:`repro.core.framework` uses this to commit the
+        plan incrementally.  Returns a report per modified arc.
+        """
+        if arc_indices is None:
+            arc_indices = solution.nonzero_arcs(self._config.delta_threshold_ps)
+        nominal = self._library.corners.nominal.name
+        report: List[ArcECO] = []
+        for j in arc_indices:
+            arc = data.arcs[j]
+            targets = data.arc_delay[j] + solution.delta[j]
+            current = np.asarray(
+                [
+                    timings[c.name].arrival[arc.end]
+                    - timings[c.name].arrival[arc.start]
+                    for c in self._library.corners
+                ]
+            )
+            eco = self._realize_arc(tree, arc, j, targets, current, timings)
+            if eco is not None:
+                report.append(eco)
+        tree.validate()
+        return report
+
+    # ------------------------------------------------------------------
+    def _pin_cap(self, tree: ClockTree, nid: int) -> float:
+        node = tree.node(nid)
+        if node.is_sink:
+            return self._library.sink_cap_ff
+        return self._library.input_cap_ff(node.size)
+
+    def _start_cell_size(self, tree: ClockTree, nid: int) -> int:
+        node = tree.node(nid)
+        return self._library.source_drive_size if node.is_source else node.size
+
+    def _realize_arc(
+        self,
+        tree: ClockTree,
+        arc: Arc,
+        arc_index: int,
+        targets: np.ndarray,
+        current_delays: np.ndarray,
+        baseline: Mapping[str, CornerTiming],
+    ) -> Optional[ArcECO]:
+        """Search (size, spacing, count) and rebuild one arc.
+
+        The arc's *current* configuration competes as a no-op candidate:
+        if no rebuild matches the LP targets better than leaving the arc
+        alone, nothing is touched.  Keeping a known-good arc always beats
+        realizing a config that would land farther from the plan.
+        """
+        cfg = self._config
+        lib = self._library
+        corner_names = [c.name for c in lib.corners]
+        nominal = corner_names[0]
+
+        keep_err = self._error(
+            {n: float(current_delays[k]) for k, n in enumerate(corner_names)},
+            targets,
+            corner_names,
+        )
+
+        start_loc = tree.node(arc.start).location
+        end_loc = tree.node(arc.end).location
+        direct = max(start_loc.manhattan(end_loc), 1.0)
+        end_cap = self._pin_cap(tree, arc.end)
+
+        # Pre-move facts about the start anchor's net (per corner): total
+        # load and the old first edge's contribution, so candidate loads
+        # can be formed as (baseline load - old contribution + new hop).
+        ctx = self._arc_context(tree, arc, baseline)
+
+        lut0 = self._luts[nominal]
+        wl_axis = lut0.wl_axis[:: max(1, cfg.wl_stride)]
+        wl_max = lut0.wl_axis[-1]
+        target0 = float(targets[corner_names.index(nominal)])
+        min_count_geo = max(0, int(math.ceil(direct / wl_max)) - 1)
+
+        best_err = math.inf
+        best: Optional[Tuple[int, float, int]] = None
+        best_est: Dict[str, float] = {}
+
+        # Wire-only candidates: sweep total route length.
+        for extension in cfg.wire_extension_steps:
+            length = direct + extension
+            est = self._estimate(tree, arc, 0, length, 0, end_cap, ctx)
+            err = self._error(est, targets, corner_names)
+            if err < best_err:
+                best_err = err
+                best = (lib.sizes[0], length, 0)
+                best_est = est
+
+        # Buffered candidates: the paper's (size, wirelength, count) scan.
+        for size in lib.sizes:
+            pin = lib.input_cap_ff(size)
+            for wl in wl_axis:
+                stage0 = lut0.uniform[(size, lut0.snap_wl(wl))]
+                if stage0 <= 0:
+                    continue
+                chain_budget = target0 - ctx["driver_floor"][nominal]
+                u_est = int(round(chain_budget / stage0))
+                lo = max(0, u_est - cfg.count_window, min_count_geo)
+                hi = min(
+                    max(u_est + cfg.count_window, min_count_geo + cfg.count_window),
+                    cfg.max_pair_count,
+                )
+                for count in range(max(lo, 1), hi + 1):
+                    spacing = max(wl, direct / (count + 1))
+                    if spacing > wl_max:
+                        continue
+                    est = self._estimate(
+                        tree, arc, size, spacing, count, end_cap, ctx
+                    )
+                    err = self._error(est, targets, corner_names)
+                    if err < best_err:
+                        best_err = err
+                        best = (size, spacing, count)
+                        best_est = est
+
+        if best is None or best_err >= keep_err:
+            return None
+        size, spacing, count = best
+        realized = rebuild_arc(
+            tree,
+            self._legalizer,
+            arc.start,
+            arc.end,
+            arc.interior,
+            size=size,
+            pair_count=count,
+            spacing_um=spacing,
+            region=self._region,
+            wire_target_um=spacing if count == 0 else None,
+        )
+        return ArcECO(
+            arc_index=arc_index,
+            size=size,
+            pair_count=count,
+            spacing_um=spacing,
+            estimate_error_ps=best_err,
+            targets_ps=tuple(float(t) for t in targets),
+            estimates_ps=tuple(best_est[n] for n in corner_names),
+            realized=realized,
+        )
+
+    # ------------------------------------------------------------------
+    def _arc_context(
+        self,
+        tree: ClockTree,
+        arc: Arc,
+        baseline: Mapping[str, CornerTiming],
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-corner facts about the arc's start anchor before the rebuild."""
+        lib = self._library
+        first_child = arc.edges[0]
+        old_first_len = tree.edge_length(first_child)
+        old_first_pin = self._pin_cap(tree, first_child)
+        start_size = self._start_cell_size(tree, arc.start)
+
+        from repro.geometry import BBox
+        from repro.route.congestion import chain_length_factor, routed_length_factor
+
+        # The start anchor's net edges carry the router factor of *that*
+        # net (fanout- and congestion-dependent), not the chain factor.
+        start_children = tree.children(arc.start)
+        net_points = [tree.node(arc.start).location] + [
+            tree.node(c).location for c in start_children
+        ]
+        start_factor = routed_length_factor(
+            max(len(start_children), 1), BBox.of_points(net_points).area
+        )
+
+        routed = start_factor
+        load_base: Dict[str, float] = {}
+        old_contrib: Dict[str, float] = {}
+        in_slew: Dict[str, float] = {}
+        driver_floor: Dict[str, float] = {}
+        for corner in lib.corners:
+            name = corner.name
+            timing = baseline[name]
+            wire = lib.wire(corner)
+            load_base[name] = timing.driver_load.get(arc.start, 0.0)
+            # Golden loads include the router's length overhead; mirror it.
+            old_contrib[name] = (
+                wire.segment_cap(old_first_len * routed) + old_first_pin
+            )
+            in_slew[name] = timing.input_slew.get(arc.start, lib.source_slew_ps)
+            driver_floor[name] = timing.driver_delay.get(arc.start, 0.0)
+        return {
+            "load_base": load_base,
+            "old_contrib": old_contrib,
+            "in_slew": in_slew,
+            "driver_floor": driver_floor,
+            "start_size": {"value": float(start_size)},
+            "start_factor": {"value": start_factor},
+        }
+
+    def _estimate(
+        self,
+        tree: ClockTree,
+        arc: Arc,
+        size: int,
+        spacing: float,
+        count: int,
+        end_cap: float,
+        ctx: Mapping[str, Mapping[str, float]],
+    ) -> Dict[str, float]:
+        """LUT-based multi-corner delay estimate for one candidate.
+
+        ``spacing`` is the hop length between consecutive pairs for
+        ``count >= 1``, or the total route length for ``count == 0``.
+        """
+        from repro.route.congestion import chain_length_factor
+
+        lib = self._library
+        start_size = int(ctx["start_size"]["value"])
+        routed = ctx["start_factor"]["value"]
+        # hop_wire_delay bakes in the chain factor; the first hop belongs
+        # to the start anchor's net, so rescale its length accordingly.
+        hop0_len_scale = routed / chain_length_factor()
+        estimates: Dict[str, float] = {}
+        for corner in lib.corners:
+            name = corner.name
+            wire = lib.wire(corner)
+            cell_start = lib.cell(start_size, corner)
+            first_pin = lib.input_cap_ff(size) if count >= 1 else end_cap
+            first_len = spacing
+            new_load = (
+                ctx["load_base"][name]
+                - ctx["old_contrib"][name]
+                + wire.segment_cap(first_len * routed)
+                + first_pin
+            )
+            pair = inverter_pair_timing(
+                cell_start, ctx["in_slew"][name], max(new_load, 0.0)
+            )
+            # Match the golden engine's signoff gate-delay correction.
+            from repro.sta.signoff import signoff_gate_factor
+
+            total = pair.delay_ps * signoff_gate_factor(
+                start_size, ctx["in_slew"][name], max(new_load, 0.0)
+            )
+            hop0, elmore0 = hop_wire_delay(
+                lib, corner, first_len * hop0_len_scale, first_pin
+            )
+            total += hop0
+            if count == 0:
+                estimates[name] = total
+                continue
+            slew1 = wire_degraded_slew(pair.output_slew_ps, elmore0)
+            lut = self._luts[name]
+            wl_snap = lut.snap_wl(spacing)
+            pin = lib.input_cap_ff(size)
+            if count == 1:
+                total += lut.detail_delay(size, wl_snap, slew1, end_cap)
+            else:
+                total += lut.detail_delay(size, wl_snap, slew1, pin)
+                total += lut.uniform[(size, wl_snap)] * (count - 2)
+                steady_slew = lut.uniform_slew[(size, wl_snap)]
+                total += lut.detail_delay(size, wl_snap, steady_slew, end_cap)
+            estimates[name] = total
+        return estimates
+
+    @staticmethod
+    def _error(
+        estimates: Mapping[str, float],
+        targets: np.ndarray,
+        corner_names: Sequence[str],
+    ) -> float:
+        """Algorithm 1 Lines 8-13: per-corner + cross-corner error."""
+        err = 0.0
+        for k, name in enumerate(corner_names):
+            err += abs(estimates[name] - float(targets[k]))
+        for k in range(len(corner_names)):
+            for k2 in range(k + 1, len(corner_names)):
+                est_diff = estimates[corner_names[k]] - estimates[corner_names[k2]]
+                tgt_diff = float(targets[k]) - float(targets[k2])
+                err += abs(est_diff - tgt_diff)
+        return err

@@ -1,0 +1,327 @@
+"""Algorithm 2: the iterative local optimization flow.
+
+Each iteration:
+
+1. enumerate candidate moves (Table 2) and featurize them against the
+   current golden timing snapshot;
+2. predict each move's per-corner delta-latency with the trained model
+   and translate it into a predicted reduction of the sum of skew
+   variations over the affected sink pairs;
+3. implement the top-``R`` moves (on clones) and assess them with the
+   golden timer — paper Line 4;
+4. commit the best actually-improving move (that also keeps local skew
+   non-degraded); otherwise try the next ``R`` moves;
+5. stop when no candidate shows predicted reduction, the batch budget is
+   exhausted, or the iteration cap is reached.
+
+A full :class:`IterationRecord` trace is kept for the paper's Figure 8
+(objective vs iteration, colored by move type) including the
+random-move baseline used in that figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.ml.features import SIDE_EFFECT_VARIANT, MoveFeatures, extract_features
+from repro.core.ml.training import DeltaLatencyPredictor
+from repro.core.moves import Move, MoveType, apply_move, enumerate_moves
+from repro.core.objective import SkewVariationProblem
+from repro.netlist.tree import ClockTree
+from repro.sta.skew import worst_pair_variation
+from repro.sta.timer import TimingResult
+
+
+@dataclass(frozen=True)
+class LocalOptConfig:
+    """Tuning of the Algorithm-2 loop."""
+
+    top_r: int = 5  # the paper's R
+    max_iterations: int = 40
+    max_batches_per_iteration: int = 4
+    min_predicted_reduction_ps: float = 0.25
+    buffers_per_iteration: Optional[int] = None  # None = all buffers
+    surgery_window_um: float = 50.0
+    local_skew_tolerance_ps: float = 0.5
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One committed (or failed) iteration for the Figure-8 trace."""
+
+    iteration: int
+    move: Optional[Move]
+    move_type: Optional[MoveType]
+    predicted_reduction_ps: float
+    actual_reduction_ps: float
+    objective_after_ps: float
+    candidates_evaluated: int
+    elapsed_s: float
+
+
+@dataclass
+class LocalOptResult:
+    """Outcome of a local optimization run."""
+
+    tree: ClockTree
+    history: List[IterationRecord]
+    initial_objective_ps: float
+    final_objective_ps: float
+
+    @property
+    def total_reduction_ps(self) -> float:
+        return self.initial_objective_ps - self.final_objective_ps
+
+
+class LocalOptimizer:
+    """Iterative predictor-guided local optimization (Algorithm 2)."""
+
+    def __init__(
+        self,
+        problem: SkewVariationProblem,
+        predictor: DeltaLatencyPredictor,
+        config: LocalOptConfig = LocalOptConfig(),
+    ) -> None:
+        self._problem = problem
+        self._predictor = predictor
+        self._config = config
+
+    # ------------------------------------------------------------------
+    def run(self, tree: Optional[ClockTree] = None) -> LocalOptResult:
+        """Optimize ``tree`` (default: the design's tree); returns a copy."""
+        cfg = self._config
+        problem = self._problem
+        current = (tree or problem.design.tree).clone()
+        result = problem.evaluate(current)
+        history: List[IterationRecord] = []
+        initial = result.total_variation
+
+        for iteration in range(cfg.max_iterations):
+            started = time.time()
+            ranked = self._rank_moves(current, result)
+            if not ranked:
+                break
+            committed = False
+            evaluated = 0
+            batches = 0
+            for start in range(0, len(ranked), cfg.top_r):
+                if batches >= cfg.max_batches_per_iteration:
+                    break
+                batches += 1
+                batch = ranked[start : start + cfg.top_r]
+                outcomes = []
+                for predicted, features in batch:
+                    evaluated += 1
+                    trial = current.clone()
+                    apply_move(
+                        trial,
+                        problem.design.legalizer,
+                        problem.design.library,
+                        features.move,
+                    )
+                    trial_result = problem.evaluate(trial)
+                    outcomes.append((trial_result, trial, predicted, features))
+                best = self._pick_best(outcomes, result)
+                if best is not None:
+                    trial_result, trial, predicted, features = best
+                    actual_red = result.total_variation - trial_result.total_variation
+                    current = trial
+                    result = trial_result
+                    history.append(
+                        IterationRecord(
+                            iteration=iteration,
+                            move=features.move,
+                            move_type=features.move.type,
+                            predicted_reduction_ps=predicted,
+                            actual_reduction_ps=actual_red,
+                            objective_after_ps=result.total_variation,
+                            candidates_evaluated=evaluated,
+                            elapsed_s=time.time() - started,
+                        )
+                    )
+                    committed = True
+                    break
+            if not committed:
+                break
+
+        return LocalOptResult(
+            tree=current,
+            history=history,
+            initial_objective_ps=initial,
+            final_objective_ps=result.total_variation,
+        )
+
+    # ------------------------------------------------------------------
+    def _pick_best(self, outcomes, current: TimingResult):
+        """Best actually-improving, non-degrading outcome (or None)."""
+        best = None
+        best_red = 1e-9
+        for outcome in outcomes:
+            trial_result = outcome[0]
+            reduction = current.total_variation - trial_result.total_variation
+            if reduction <= best_red:
+                continue
+            if trial_result.skews.degraded_local_skew(
+                self._problem.baseline.skews,
+                tol_ps=self._config.local_skew_tolerance_ps,
+            ):
+                continue
+            best = outcome
+            best_red = reduction
+        return best
+
+    # ------------------------------------------------------------------
+    def _select_buffers(
+        self, tree: ClockTree, result: TimingResult
+    ) -> Optional[List[int]]:
+        """Buffers to enumerate this iteration.
+
+        When capped, buffers are ranked by the total pair variation of
+        the sink pairs their subtree touches — the moves most likely to
+        matter (the uncapped default matches the paper).
+        """
+        cap = self._config.buffers_per_iteration
+        if cap is None:
+            return None
+        variation_by_sink: Dict[int, float] = {}
+        for (a, b), v in result.skews.pair_variation.items():
+            variation_by_sink[a] = variation_by_sink.get(a, 0.0) + v
+            variation_by_sink[b] = variation_by_sink.get(b, 0.0) + v
+        scored: List[Tuple[float, int]] = []
+        for nid in tree.buffers():
+            score = sum(
+                variation_by_sink.get(s, 0.0) for s in tree.subtree_sinks(nid)
+            )
+            scored.append((score, nid))
+        scored.sort(reverse=True)
+        return [nid for _, nid in scored[:cap]]
+
+    def _rank_moves(
+        self, tree: ClockTree, result: TimingResult
+    ) -> List[Tuple[float, MoveFeatures]]:
+        """Featurize, predict, and rank all candidate moves."""
+        cfg = self._config
+        problem = self._problem
+        library = problem.design.library
+        buffers = self._select_buffers(tree, result)
+        moves = enumerate_moves(
+            tree,
+            library,
+            buffers=buffers,
+            surgery_window_um=cfg.surgery_window_um,
+        )
+        if not moves:
+            return []
+        features = [
+            extract_features(tree, library, result.per_corner, move)
+            for move in moves
+        ]
+        predictions = self._predictor.predict_batch(features)
+        ranked: List[Tuple[float, MoveFeatures]] = []
+        for feats, pred in zip(features, predictions):
+            reduction = predicted_variation_reduction(
+                problem, tree, result, feats, pred
+            )
+            if reduction > cfg.min_predicted_reduction_ps:
+                ranked.append((reduction, feats))
+        ranked.sort(key=lambda item: -item[0])
+        return ranked
+
+
+def predicted_variation_reduction(
+    problem: SkewVariationProblem,
+    tree: ClockTree,
+    result: TimingResult,
+    features: MoveFeatures,
+    subtree_delta: Mapping[str, float],
+) -> float:
+    """Translate predicted latency deltas into an objective reduction.
+
+    Applies the predicted subtree delta to the moved buffer's sinks and
+    the analytical (star-model) sibling corrections to the neighbouring
+    subtrees, then recomputes the affected pairs' worst normalized
+    variations against the current values.
+    """
+    move = features.move
+    side = features.impacts[SIDE_EFFECT_VARIANT]
+    corners = problem.design.library.corners
+    alphas = problem.alphas
+
+    subtree_sinks = set(tree.subtree_sinks(move.buffer))
+    old_parent = tree.parent(move.buffer)
+    old_sib_sinks = (
+        set(tree.subtree_sinks(old_parent)) - subtree_sinks
+        if old_parent is not None
+        else set()
+    )
+    new_sib_sinks: Set[int] = set()
+    if move.type is MoveType.SURGERY and move.new_parent is not None:
+        new_sib_sinks = set(tree.subtree_sinks(move.new_parent)) - subtree_sinks
+
+    affected = subtree_sinks | old_sib_sinks | new_sib_sinks
+    pairs = [
+        p for p in problem.pairs if p[0] in affected or p[1] in affected
+    ]
+    if not pairs:
+        return 0.0
+
+    def delta_for(sink: int, corner_name: str) -> float:
+        if sink in subtree_sinks:
+            return subtree_delta[corner_name]
+        if sink in old_sib_sinks:
+            return side.old_siblings[corner_name]
+        if sink in new_sib_sinks:
+            return side.new_siblings[corner_name]
+        return 0.0
+
+    total_delta = 0.0
+    for pair in pairs:
+        current_v = result.skews.pair_variation[pair]
+        adjusted = {
+            corner.name: {
+                pair[0]: result.latencies[corner.name][pair[0]]
+                + delta_for(pair[0], corner.name),
+                pair[1]: result.latencies[corner.name][pair[1]]
+                + delta_for(pair[1], corner.name),
+            }
+            for corner in corners
+        }
+        new_v = worst_pair_variation(adjusted, pair, corners, alphas)
+        total_delta += new_v - current_v
+    return -total_delta
+
+
+def random_move_baseline(
+    problem: SkewVariationProblem,
+    tree: ClockTree,
+    iterations: int,
+    seed: int = 99,
+) -> List[float]:
+    """Figure 8's random-move reference: commit random improving moves.
+
+    At each step a random candidate move is applied; it is kept only if
+    the golden objective improves (no prediction involved).  Returns the
+    objective trace (one value per step, starting at the initial value).
+    """
+    rng = np.random.default_rng(seed)
+    current = tree.clone()
+    result = problem.evaluate(current)
+    trace = [result.total_variation]
+    library = problem.design.library
+    for _ in range(iterations):
+        moves = enumerate_moves(current, library)
+        if not moves:
+            break
+        move = moves[int(rng.integers(len(moves)))]
+        trial = current.clone()
+        apply_move(trial, problem.design.legalizer, library, move)
+        trial_result = problem.evaluate(trial)
+        if trial_result.total_variation < result.total_variation:
+            current = trial
+            result = trial_result
+        trace.append(result.total_variation)
+    return trace

@@ -1,0 +1,20 @@
+"""Machine-learning delta-latency predictors (paper Section 4.2).
+
+The local optimizer cannot afford a golden-timer evaluation per candidate
+move, so it ranks moves with a fast predictor of per-corner latency
+change:
+
+* :mod:`repro.core.ml.analytical` — closed-form estimates built on
+  {RSMT (FLUTE-like), single-trunk Steiner} x {Elmore, D2M} route/delay
+  models plus Liberty-table interpolation and PERI slew propagation;
+* :mod:`repro.core.ml.features` — the feature vector (the four analytical
+  estimates, fanout count, bounding-box area and aspect ratio, move
+  descriptors);
+* :mod:`repro.core.ml.ann` / :mod:`repro.core.ml.svr` /
+  :mod:`repro.core.ml.hsm` — the three model classes the paper trains
+  (artificial neural network, RBF-kernel support vector regression, and
+  hybrid surrogate modeling);
+* :mod:`repro.core.ml.dataset` — artificial-testcase move datasets;
+* :mod:`repro.core.ml.training` — per-corner training with
+  cross-validation, yielding a :class:`~repro.core.ml.training.DeltaLatencyPredictor`.
+"""

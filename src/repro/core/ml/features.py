@@ -1,0 +1,144 @@
+"""Feature extraction for the delta-latency models.
+
+Per the paper, the inputs to the machine-learning model are the
+analytical delay estimates from {FLUTE tree, single-trunk Steiner tree} x
+{Elmore, D2M}, plus the number of fanout cells and the area and aspect
+ratio of the bounding box containing the driving pin and fanout cells.
+We add the move descriptors (type, size steps, displacement) that the
+estimates are conditioned on.
+
+One feature vector is produced per (move, corner); the paper trains one
+model per corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ml.analytical import MoveImpact, estimate_move_impacts
+from repro.core.moves import Move, MoveType
+from repro.netlist.tree import ClockTree
+from repro.sta.timer import CornerTiming
+from repro.tech.library import Library
+
+#: The four analytical estimator variants, in feature order.
+ESTIMATOR_VARIANTS: Tuple[Tuple[str, str], ...] = (
+    ("rsmt", "elmore"),
+    ("rsmt", "d2m"),
+    ("trunk", "elmore"),
+    ("trunk", "d2m"),
+)
+
+#: Extra impact computed for side-effect (sibling) corrections — uses the
+#: golden router's own star topology, but is NOT part of the feature
+#: vector (the ML features stay faithful to the paper's list).
+SIDE_EFFECT_VARIANT: Tuple[str, str] = ("star", "d2m")
+
+#: Human-readable names of the feature columns.  The parent-net block
+#: describes the *driving* net: the driver-delay component of a move's
+#: latency change depends on that net's congestion context, so the model
+#: needs it to learn router-vs-estimate discrepancies there too.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "est_rsmt_elmore",
+    "est_rsmt_d2m",
+    "est_trunk_elmore",
+    "est_trunk_d2m",
+    "fanout",
+    "bbox_area_kum2",
+    "bbox_aspect",
+    "wirelength_um",
+    "parent_fanout",
+    "parent_bbox_area_kum2",
+    "parent_bbox_aspect",
+    "parent_wirelength_um",
+    "input_slew_ps",
+    "size_after",
+    "drive_res_proxy",
+    "move_type_I",
+    "move_type_II",
+    "move_type_III",
+    "size_step",
+    "child_size_step",
+    "displacement_um",
+)
+
+
+@dataclass(frozen=True)
+class MoveFeatures:
+    """Feature vectors (one per corner) for a single candidate move."""
+
+    move: Move
+    per_corner: Dict[str, np.ndarray]
+    impacts: Dict[Tuple[str, str], MoveImpact]
+
+    def vector(self, corner_name: str) -> np.ndarray:
+        return self.per_corner[corner_name]
+
+
+def extract_features(
+    tree: ClockTree,
+    library: Library,
+    timings: Mapping[str, CornerTiming],
+    move: Move,
+) -> MoveFeatures:
+    """Compute the full feature set for ``move`` against ``timings``."""
+    impacts: Dict[Tuple[str, str], MoveImpact] = {}
+    route_models = {r for r, _ in (*ESTIMATOR_VARIANTS, SIDE_EFFECT_VARIANT)}
+    for route_model in sorted(route_models):
+        by_metric = estimate_move_impacts(
+            tree, library, timings, move, route_model
+        )
+        for metric, impact in by_metric.items():
+            impacts[(route_model, metric)] = impact
+
+    reference = impacts[ESTIMATOR_VARIANTS[1]]  # rsmt + d2m
+    net = reference.net_after
+    parent_net = reference.parent_net or net
+    size_after = tree.node(move.buffer).size or 0
+    if move.type is MoveType.SIZING_DISPLACE and move.size_step:
+        size_after = library.step_size(size_after, move.size_step)
+    type_onehot = {
+        MoveType.SIZING_DISPLACE: (1.0, 0.0, 0.0),
+        MoveType.CHILD_SIZING: (0.0, 1.0, 0.0),
+        MoveType.SURGERY: (0.0, 0.0, 1.0),
+    }[move.type]
+    displacement = abs(move.dx) + abs(move.dy)
+
+    per_corner: Dict[str, np.ndarray] = {}
+    for corner in library.corners:
+        name = corner.name
+        estimates = [
+            impacts[variant].subtree[name] for variant in ESTIMATOR_VARIANTS
+        ]
+        per_corner[name] = np.asarray(
+            [
+                *estimates,
+                float(net.fanout),
+                net.bbox_area_um2 / 1000.0,
+                net.bbox_aspect,
+                net.wirelength_um,
+                float(parent_net.fanout),
+                parent_net.bbox_area_um2 / 1000.0,
+                parent_net.bbox_aspect,
+                parent_net.wirelength_um,
+                float(timings[name].input_slew.get(move.buffer, 0.0)),
+                float(size_after),
+                1.0 / max(size_after, 1),
+                *type_onehot,
+                float(move.size_step),
+                float(move.child_size_step),
+                displacement,
+            ],
+            dtype=float,
+        )
+    return MoveFeatures(move=move, per_corner=per_corner, impacts=impacts)
+
+
+def feature_matrix(
+    feature_list: Sequence[MoveFeatures], corner_name: str
+) -> np.ndarray:
+    """Stack per-corner feature vectors into a design matrix."""
+    return np.vstack([f.vector(corner_name) for f in feature_list])

@@ -1,0 +1,93 @@
+"""Hybrid surrogate modeling (Kahng, Lin, Nath — DATE 2013).
+
+HSM blends several metamodels with weights derived from their
+cross-validated errors: models that generalize better get proportionally
+more weight.  We use the inverse-MSE weighting variant:
+
+    w_i = (1 / mse_i) / sum_j (1 / mse_j)
+
+computed with K-fold cross-validation on the training set, then each
+base model is refitted on the full data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+#: A factory returning a fresh, unfitted regressor with fit/predict.
+ModelFactory = Callable[[], object]
+
+
+def kfold_mse(
+    factory: ModelFactory, x: np.ndarray, y: np.ndarray, folds: int, seed: int
+) -> float:
+    """Mean cross-validated MSE of a model family on ``(x, y)``."""
+    n = len(y)
+    if n < folds:
+        folds = max(2, n)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    errors: List[float] = []
+    for f in range(folds):
+        test = order[f::folds]
+        train = np.setdiff1d(order, test)
+        if len(train) == 0 or len(test) == 0:
+            continue
+        model = factory()
+        model.fit(x[train], y[train])
+        pred = model.predict(x[test])
+        errors.append(float(np.mean((pred - y[test]) ** 2)))
+    return float(np.mean(errors)) if errors else float("inf")
+
+
+class HybridSurrogateModel:
+    """Inverse-CV-MSE weighted blend of base regressors."""
+
+    def __init__(
+        self,
+        factories: Sequence[Tuple[str, ModelFactory]],
+        folds: int = 4,
+        seed: int = 11,
+    ) -> None:
+        if not factories:
+            raise ValueError("HSM needs at least one base model")
+        self._factories = list(factories)
+        self._folds = folds
+        self._seed = seed
+        self._models: List[object] = []
+        self.weights: List[float] = []
+        self.cv_mse: List[float] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "HybridSurrogateModel":
+        """Cross-validate each family, set weights, refit on all data."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        self.cv_mse = [
+            kfold_mse(factory, x, y, self._folds, self._seed)
+            for _, factory in self._factories
+        ]
+        inv = np.asarray(
+            [1.0 / max(m, 1e-12) for m in self.cv_mse], dtype=float
+        )
+        self.weights = list(inv / inv.sum())
+        self._models = []
+        for _, factory in self._factories:
+            model = factory()
+            model.fit(x, y)
+            self._models.append(model)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Weighted blend of the base models' predictions."""
+        if not self._models:
+            raise RuntimeError("model is not fitted")
+        out = np.zeros(len(np.atleast_2d(x)))
+        for weight, model in zip(self.weights, self._models):
+            out = out + weight * model.predict(x)
+        return out
+
+    def component_names(self) -> List[str]:
+        return [name for name, _ in self._factories]

@@ -1,0 +1,218 @@
+"""Per-corner model training and the deployable predictor bundle.
+
+The paper trains one delta-latency model per corner on the artificial
+testcases, cross-validates to prevent overfitting, and applies the same
+model to all (unseen) designs.  :func:`train_predictor` reproduces that
+protocol for any of the three model families (ANN, SVR, HSM) or the
+purely analytical baselines the paper compares against in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ml.ann import ANNConfig, ANNRegressor
+from repro.core.ml.dataset import MoveSample, dataset_arrays
+from repro.core.ml.features import ESTIMATOR_VARIANTS, MoveFeatures
+from repro.core.ml.hsm import HybridSurrogateModel
+from repro.core.ml.svr import RBFKernelSVR, SVRConfig
+from repro.tech.library import Library
+
+#: Supported predictor kinds.
+MODEL_KINDS = ("ann", "svr", "hsm")
+
+#: Analytical baselines: raw wire-delay estimates per route/metric
+#: variant — the paper's Figure-6 comparators.
+ANALYTICAL_KINDS = tuple(f"{r}_{m}" for r, m in ESTIMATOR_VARIANTS)
+
+#: Full-pipeline analytical predictors: the same variants but with the
+#: Liberty driver update + PERI slew propagation applied (the paper's ML
+#: *input generation* run as a predictor).  Useful as a training-free
+#: predictor for the local flow.
+FULL_ANALYTICAL_KINDS = tuple(f"full_{k}" for k in ANALYTICAL_KINDS)
+
+
+def _make_model(kind: str):
+    if kind == "ann":
+        return ANNRegressor(ANNConfig())
+    if kind == "svr":
+        return RBFKernelSVR(SVRConfig())
+    if kind == "hsm":
+        return HybridSurrogateModel(
+            factories=[
+                ("ann", lambda: ANNRegressor(ANNConfig(max_epochs=200))),
+                ("svr", lambda: RBFKernelSVR(SVRConfig())),
+            ]
+        )
+    raise ValueError(f"unknown model kind {kind!r}; expected {MODEL_KINDS}")
+
+
+#: Feature column holding the (rsmt, d2m) analytical estimate — the
+#: anchor the learned models' residuals are taken against.
+_ANCHOR_FEATURE = "est_rsmt_d2m"
+
+
+def _anchor_column() -> int:
+    from repro.core.ml.features import FEATURE_NAMES
+
+    return FEATURE_NAMES.index(_ANCHOR_FEATURE)
+
+
+@dataclass
+class DeltaLatencyPredictor:
+    """One trained (or analytical) delta-latency predictor per corner.
+
+    ``kind`` is one of :data:`MODEL_KINDS` for learned predictors, or an
+    entry of :data:`ANALYTICAL_KINDS` for the paper's analytical
+    comparison models (Figure 6), which simply read off the corresponding
+    estimate from the feature pipeline.
+
+    Learned models are trained on the *residual* against the (rsmt, d2m)
+    analytical estimate: the prediction is ``estimate + model(features)``.
+    Residual learning keeps the predictor anchored to physics on inputs
+    outside the artificial-testcase training distribution (real trees),
+    so it can only refine — not catastrophically contradict — the
+    analytical answer.
+    """
+
+    kind: str
+    corner_names: Tuple[str, ...]
+    models: Dict[str, object] = field(default_factory=dict)
+    residual: bool = True
+
+    @property
+    def is_learned(self) -> bool:
+        return self.kind in MODEL_KINDS
+
+    def predict_subtree_delta(self, features: MoveFeatures) -> Dict[str, float]:
+        """Predicted per-corner latency change of the moved subtree (ps)."""
+        if self.is_learned:
+            col = _anchor_column()
+            out: Dict[str, float] = {}
+            for name in self.corner_names:
+                vector = features.vector(name)
+                value = float(self.models[name].predict(vector[None, :])[0])
+                if self.residual:
+                    value += float(vector[col])
+                out[name] = value
+            return out
+        kind = self.kind
+        full = kind.startswith("full_")
+        if full:
+            kind = kind[len("full_") :]
+        route_model, metric = kind.rsplit("_", 1)
+        impact = features.impacts[(route_model, metric)]
+        if full:
+            source = impact.subtree
+        else:
+            # Plain analytical kinds are the paper's Figure-6
+            # comparators: raw {route estimate} x {wire metric} deltas.
+            source = impact.subtree_wire_only or impact.subtree
+        return {name: source[name] for name in self.corner_names}
+
+    def predict_batch(
+        self, feature_list: Sequence[MoveFeatures]
+    ) -> List[Dict[str, float]]:
+        """Vectorized predictions for many moves (learned kinds)."""
+        if not feature_list:
+            return []
+        if not self.is_learned:
+            return [self.predict_subtree_delta(f) for f in feature_list]
+        col = _anchor_column()
+        per_corner: Dict[str, np.ndarray] = {}
+        for name in self.corner_names:
+            x = np.vstack([f.vector(name) for f in feature_list])
+            pred = self.models[name].predict(x)
+            if self.residual:
+                pred = pred + x[:, col]
+            per_corner[name] = pred
+        return [
+            {name: float(per_corner[name][i]) for name in self.corner_names}
+            for i in range(len(feature_list))
+        ]
+
+
+def train_predictor(
+    library: Library,
+    samples: Sequence[MoveSample],
+    kind: str = "hsm",
+    residual: bool = True,
+) -> DeltaLatencyPredictor:
+    """Train one model per corner on ``samples``.
+
+    Analytical kinds need no training data and return immediately.  With
+    ``residual=True`` (default) learned models fit the golden-minus-
+    analytical residual; pass ``False`` to fit absolute deltas (the
+    ablation benches compare both).
+    """
+    corner_names = tuple(c.name for c in library.corners)
+    if kind in ANALYTICAL_KINDS or kind in FULL_ANALYTICAL_KINDS:
+        return DeltaLatencyPredictor(kind=kind, corner_names=corner_names)
+    if kind not in MODEL_KINDS:
+        raise ValueError(f"unknown predictor kind {kind!r}")
+    if not samples:
+        raise ValueError("training a learned predictor requires samples")
+    col = _anchor_column()
+    models: Dict[str, object] = {}
+    for name in corner_names:
+        x, y = dataset_arrays(samples, name)
+        if residual:
+            y = y - x[:, col]
+        model = _make_model(kind)
+        model.fit(x, y)
+        models[name] = model
+    return DeltaLatencyPredictor(
+        kind=kind, corner_names=corner_names, models=models, residual=residual
+    )
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Per-corner prediction accuracy on a held-out sample set (Fig. 5)."""
+
+    corner_name: str
+    predicted: Tuple[float, ...]
+    actual: Tuple[float, ...]
+
+    @property
+    def mean_abs_error_ps(self) -> float:
+        p = np.asarray(self.predicted)
+        a = np.asarray(self.actual)
+        return float(np.mean(np.abs(p - a)))
+
+    @property
+    def percent_errors(self) -> np.ndarray:
+        """Per-sample percentage error on predicted-vs-actual *latency*.
+
+        Like the paper's Figure 5, errors are taken on latencies, not raw
+        deltas (a delta near zero would make relative error meaningless).
+        A representative latency scale — the actual values' spread plus
+        their magnitude — is used as the denominator per sample.
+        """
+        p = np.asarray(self.predicted)
+        a = np.asarray(self.actual)
+        scale = max(float(np.percentile(np.abs(a), 90)), 1.0)
+        return (p - a) / scale * 100.0
+
+    @property
+    def mean_abs_percent_error(self) -> float:
+        return float(np.mean(np.abs(self.percent_errors)))
+
+
+def evaluate_predictor(
+    predictor: DeltaLatencyPredictor,
+    samples: Sequence[MoveSample],
+) -> Dict[str, AccuracyReport]:
+    """Accuracy of ``predictor`` on (held-out) ``samples`` per corner."""
+    reports: Dict[str, AccuracyReport] = {}
+    predictions = predictor.predict_batch([s.features for s in samples])
+    for name in predictor.corner_names:
+        predicted = tuple(p[name] for p in predictions)
+        actual = tuple(s.target[name] for s in samples)
+        reports[name] = AccuracyReport(
+            corner_name=name, predicted=predicted, actual=actual
+        )
+    return reports

@@ -1,0 +1,176 @@
+"""Candidate local moves (paper Table 2).
+
+Three move types, enumerated per clock buffer:
+
+* **Type I** — displace the buffer by 10 um in one of the 8 compass
+  directions, combined with a one-step up or down resize of the buffer
+  itself (8 x 2 = 16 candidates).
+* **Type II** — the same 8 x 2 displacement grid, but the one-step resize
+  applies to one of the buffer's child buffers (16 candidates).
+* **Type III** — tree surgery: reassign the buffer to a different driver
+  at the same buffer level whose location falls within a 50 um x 50 um
+  bounding box around the current driver.
+
+With a populated neighbourhood this yields ~45 candidates per buffer,
+matching the paper's Figure 6 setup (114 buffers x 45 moves).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.eco.legalize import Legalizer
+from repro.eco.operators import apply_displacement, apply_sizing, apply_tree_surgery
+from repro.geometry import COMPASS_DIRECTIONS, Point, compass_offset
+from repro.netlist.tree import ClockTree
+from repro.tech.library import Library
+
+#: Displacement distance of type-I/II moves (um), from Table 2.
+DISPLACE_UM = 10.0
+
+#: Tree-surgery driver search window edge (um), from Table 2.
+SURGERY_WINDOW_UM = 50.0
+
+
+class MoveType(enum.Enum):
+    """Table-2 move classes."""
+
+    SIZING_DISPLACE = "I"
+    CHILD_SIZING = "II"
+    SURGERY = "III"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One candidate local move on ``buffer``."""
+
+    type: MoveType
+    buffer: int
+    dx: float = 0.0
+    dy: float = 0.0
+    size_step: int = 0
+    child: Optional[int] = None
+    child_size_step: int = 0
+    new_parent: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.type is MoveType.SURGERY:
+            return f"III: reassign {self.buffer} -> driver {self.new_parent}"
+        if self.type is MoveType.CHILD_SIZING:
+            return (
+                f"II: move {self.buffer} by ({self.dx:+.0f},{self.dy:+.0f}), "
+                f"size child {self.child} {self.child_size_step:+d}"
+            )
+        return (
+            f"I: move {self.buffer} by ({self.dx:+.0f},{self.dy:+.0f}), "
+            f"size {self.size_step:+d}"
+        )
+
+
+def _sizeable(library: Library, size: int, step: int) -> bool:
+    """True if a one-step resize actually changes the size (not clamped)."""
+    return library.step_size(size, step) != size
+
+
+def _pick_child_buffer(tree: ClockTree, buffer: int) -> Optional[int]:
+    """The child buffer with the largest subtree (deterministic tiebreak)."""
+    candidates = [
+        c for c in tree.children(buffer) if tree.node(c).is_buffer
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: (len(tree.subtree_sinks(c)), -c))
+
+
+def surgery_candidates(
+    tree: ClockTree,
+    buffer: int,
+    window_um: float = SURGERY_WINDOW_UM,
+) -> List[int]:
+    """Alternative same-level drivers for ``buffer`` within the window."""
+    parent = tree.parent(buffer)
+    if parent is None:
+        return []
+    level = tree.buffer_level(parent)
+    center = tree.node(parent).location
+    half = window_um / 2.0
+    subtree = set(tree.subtree_ids(buffer))
+    out: List[int] = []
+    for nid in tree.buffers():
+        if nid == parent or nid in subtree:
+            continue
+        loc = tree.node(nid).location
+        if abs(loc.x - center.x) > half or abs(loc.y - center.y) > half:
+            continue
+        if tree.buffer_level(nid) != level:
+            continue
+        out.append(nid)
+    return sorted(out)
+
+
+def enumerate_moves(
+    tree: ClockTree,
+    library: Library,
+    buffers: Optional[Sequence[int]] = None,
+    displace_um: float = DISPLACE_UM,
+    surgery_window_um: float = SURGERY_WINDOW_UM,
+) -> List[Move]:
+    """All Table-2 candidate moves for ``buffers`` (default: every buffer)."""
+    moves: List[Move] = []
+    targets = sorted(buffers) if buffers is not None else sorted(tree.buffers())
+    for nid in targets:
+        node = tree.node(nid)
+        if not node.is_buffer:
+            continue
+        child = _pick_child_buffer(tree, nid)
+        for direction, _ in COMPASS_DIRECTIONS:
+            dx, dy = compass_offset(direction, displace_um)
+            for step in (+1, -1):
+                if _sizeable(library, node.size, step):
+                    moves.append(
+                        Move(
+                            type=MoveType.SIZING_DISPLACE,
+                            buffer=nid,
+                            dx=dx,
+                            dy=dy,
+                            size_step=step,
+                        )
+                    )
+                if child is not None and _sizeable(
+                    library, tree.node(child).size, step
+                ):
+                    moves.append(
+                        Move(
+                            type=MoveType.CHILD_SIZING,
+                            buffer=nid,
+                            dx=dx,
+                            dy=dy,
+                            child=child,
+                            child_size_step=step,
+                        )
+                    )
+        for new_parent in surgery_candidates(tree, nid, surgery_window_um):
+            moves.append(
+                Move(type=MoveType.SURGERY, buffer=nid, new_parent=new_parent)
+            )
+    return moves
+
+
+def apply_move(
+    tree: ClockTree, legalizer: Legalizer, library: Library, move: Move
+) -> None:
+    """Apply ``move`` to ``tree`` in place (clone first for trials)."""
+    if move.type is MoveType.SURGERY:
+        apply_tree_surgery(tree, move.buffer, move.new_parent)
+        return
+    apply_displacement(tree, legalizer, move.buffer, move.dx, move.dy)
+    if move.type is MoveType.SIZING_DISPLACE and move.size_step:
+        new_size = library.step_size(tree.node(move.buffer).size, move.size_step)
+        apply_sizing(tree, move.buffer, new_size)
+    elif move.type is MoveType.CHILD_SIZING and move.child is not None:
+        new_size = library.step_size(
+            tree.node(move.child).size, move.child_size_step
+        )
+        apply_sizing(tree, move.child, new_size)

@@ -1,0 +1,73 @@
+"""The Skew Variation Reduction Problem (paper Section 3).
+
+Given a routed clock tree, minimize the sum over all sequentially adjacent
+sink pairs of the maximum normalized skew variation across all corner
+pairs — without degrading local skew at any corner, per-corner-pair skew
+variation versus nominal, or maximum latency.
+
+:class:`SkewVariationProblem` freezes the baseline state (latencies,
+normalization factors, local skews) so that every later evaluation is on
+the *same* scale, which is how the paper reports its normalized results
+(Table 5's ``[norm]`` column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.design import Design
+from repro.netlist.tree import ClockTree
+from repro.sta.skew import SkewAnalysis
+from repro.sta.timer import GoldenTimer, TimingResult
+
+
+@dataclass
+class SkewVariationProblem:
+    """A frozen optimization instance: design + timer + baseline snapshot."""
+
+    design: Design
+    timer: GoldenTimer
+    baseline: TimingResult
+
+    @staticmethod
+    def create(design: Design, timer: Optional[GoldenTimer] = None) -> "SkewVariationProblem":
+        """Time the design's current tree and freeze it as the baseline."""
+        timer = timer or GoldenTimer(design.library)
+        baseline = timer.time_tree(design.tree, design.pairs)
+        return SkewVariationProblem(design=design, timer=timer, baseline=baseline)
+
+    @property
+    def alphas(self) -> Dict[str, float]:
+        """Baseline normalization factors (fixed for the whole optimization)."""
+        return self.baseline.skews.alphas
+
+    @property
+    def pairs(self) -> List[Tuple[int, int]]:
+        return self.design.pairs
+
+    def evaluate(self, tree: ClockTree) -> TimingResult:
+        """Golden-time ``tree`` against the baseline normalization."""
+        return self.timer.time_tree(tree, self.design.pairs, alphas=self.alphas)
+
+    def objective(self, tree: ClockTree) -> float:
+        """Sum of skew variations of ``tree`` (ps, baseline-normalized)."""
+        return self.evaluate(tree).total_variation
+
+    def accepts(self, candidate: TimingResult, tol_ps: float = 0.5) -> bool:
+        """Check the paper's non-degradation side constraints.
+
+        A candidate state is acceptable only if its local skew does not
+        degrade at any corner relative to the baseline (Constraint (7)'s
+        intent, checked against golden results).
+        """
+        return not candidate.skews.degraded_local_skew(
+            self.baseline.skews, tol_ps=tol_ps
+        )
+
+    def reduction_percent(self, candidate: TimingResult) -> float:
+        """Percent reduction of the objective vs baseline (+ = better)."""
+        base = self.baseline.total_variation
+        if base <= 0.0:
+            return 0.0
+        return 100.0 * (base - candidate.total_variation) / base

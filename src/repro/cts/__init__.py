@@ -1,0 +1,9 @@
+"""Clock tree synthesis substrate.
+
+Produces the "original" clock trees that the paper takes as input: its
+experiments start from a best-practices commercial CTS result (skew target
+0 ps) and then apply the proposed global/local optimization on top.  Our
+CTS performs bottom-up geometric clustering, level-based buffer sizing,
+repeater insertion on long edges, and nominal-corner skew balancing by
+wire snaking — the same knobs a production flow exercises.
+"""

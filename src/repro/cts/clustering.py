@@ -1,0 +1,74 @@
+"""Geometric sink clustering for CTS.
+
+Recursive bisection: split the point set along its wider spread axis at
+the median until every cluster respects both a fanout cap and a radius
+cap.  Deterministic (median splits, stable ordering), which keeps CTS
+results reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A group of point indices with its center (weighted median)."""
+
+    indices: Tuple[int, ...]
+    center: Point
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _median_center(points: Sequence[Point]) -> Point:
+    """Component-wise median — the L1-optimal meeting point."""
+    xs = sorted(p.x for p in points)
+    ys = sorted(p.y for p in points)
+    mid = len(xs) // 2
+    if len(xs) % 2:
+        return Point(xs[mid], ys[mid])
+    return Point((xs[mid - 1] + xs[mid]) / 2.0, (ys[mid - 1] + ys[mid]) / 2.0)
+
+
+def cluster_points(
+    points: Sequence[Point],
+    max_fanout: int,
+    max_radius_um: float,
+) -> List[Cluster]:
+    """Cluster ``points`` under fanout and radius caps.
+
+    The radius cap bounds the Chebyshev-ish spread: a cluster is split
+    while any member lies farther than ``max_radius_um`` (Manhattan) from
+    the cluster center.
+    """
+    if max_fanout < 1:
+        raise ValueError("max_fanout must be >= 1")
+    if not points:
+        return []
+
+    clusters: List[Cluster] = []
+
+    def recurse(indices: List[int]) -> None:
+        members = [points[i] for i in indices]
+        center = _median_center(members)
+        oversized = len(indices) > max_fanout
+        too_wide = any(p.manhattan(center) > max_radius_um for p in members)
+        if (not oversized and not too_wide) or len(indices) == 1:
+            clusters.append(Cluster(indices=tuple(indices), center=center))
+            return
+        box = BBox.of_points(members)
+        axis_x = box.width >= box.height
+        ordered = sorted(
+            indices, key=lambda i: (points[i].x if axis_x else points[i].y, i)
+        )
+        half = len(ordered) // 2
+        recurse(ordered[:half])
+        recurse(ordered[half:])
+
+    recurse(list(range(len(points))))
+    return clusters

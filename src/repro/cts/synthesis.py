@@ -1,0 +1,215 @@
+"""Clock tree synthesis: clustering, buffering, repeaters, skew balancing.
+
+The flow mirrors what a best-practices commercial CTS run produces for the
+paper's input trees:
+
+1. **Bottom-up clustering** — sinks cluster into leaf groups under fanout
+   and radius caps; leaf centers cluster again into branch groups until a
+   handful of top buffers remain under the source.
+2. **Level-based sizing** — leaf buffers are small (X8), intermediate X16,
+   top X32.
+3. **Repeater insertion** — edges longer than the max unbuffered span get
+   uniformly spaced repeaters (slew control).
+4. **Legalization** — every buffer snaps to a free site.
+5. **Nominal-corner skew balancing** — iterative wire snaking on sink
+   edges toward a 0 ps skew target at the nominal corner (the paper's CTS
+   recipe, Section 5.1).  Balancing at one corner is precisely what leaves
+   *cross-corner* skew variation behind for the optimizer to attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cts.clustering import Cluster, cluster_points
+from repro.eco.legalize import Legalizer
+from repro.eco.router import reroute_edge
+from repro.geometry import BBox, Point, uniform_points_between
+from repro.netlist.tree import ClockTree
+from repro.sta.timer import GoldenTimer
+from repro.tech.library import Library
+
+
+@dataclass(frozen=True)
+class CTSConfig:
+    """Tuning knobs of the CTS recipe."""
+
+    leaf_fanout: int = 16
+    leaf_radius_um: float = 130.0
+    branch_fanout: int = 4
+    branch_radius_um: float = 500.0
+    leaf_size: int = 8
+    mid_size: int = 16
+    top_size: int = 32
+    repeater_spacing_um: float = 180.0
+    repeater_size: int = 16
+    balance_rounds: int = 3
+    balance_tolerance_ps: float = 4.0
+    max_snake_per_round_um: float = 250.0
+
+
+def synthesize_tree(
+    source_location: Point,
+    sink_locations: Sequence[Point],
+    library: Library,
+    region: BBox,
+    legalizer: Optional[Legalizer] = None,
+    config: CTSConfig = CTSConfig(),
+) -> ClockTree:
+    """Synthesize a balanced, buffered clock tree over the given sinks."""
+    if not sink_locations:
+        raise ValueError("cannot synthesize a clock tree with no sinks")
+    legalizer = legalizer or Legalizer(region=region)
+
+    level_clusters = _build_cluster_levels(sink_locations, config)
+    tree = _instantiate(
+        source_location, sink_locations, level_clusters, config
+    )
+    _insert_repeaters(tree, config)
+    _legalize_buffers(tree, legalizer)
+    tree.validate()
+    if config.balance_rounds > 0:
+        _balance_nominal_skew(tree, library, region, config)
+        tree.validate()
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Clustering / instantiation
+# ----------------------------------------------------------------------
+def _build_cluster_levels(
+    sink_locations: Sequence[Point], config: CTSConfig
+) -> List[List[Cluster]]:
+    """Cluster levels bottom-up; level 0 groups sinks, level i groups i-1."""
+    levels: List[List[Cluster]] = [
+        cluster_points(sink_locations, config.leaf_fanout, config.leaf_radius_um)
+    ]
+    centers = [c.center for c in levels[0]]
+    while len(centers) > config.branch_fanout:
+        clusters = cluster_points(
+            centers, config.branch_fanout, config.branch_radius_um
+        )
+        if len(clusters) >= len(centers):
+            break
+        levels.append(clusters)
+        centers = [c.center for c in clusters]
+    return levels
+
+
+def _level_size(level: int, top_level: int, config: CTSConfig) -> int:
+    """Drive size for a buffer at cluster ``level`` (0 = leaf)."""
+    if level == 0:
+        return config.leaf_size
+    if level >= top_level:
+        return config.top_size
+    return config.mid_size
+
+
+def _instantiate(
+    source_location: Point,
+    sink_locations: Sequence[Point],
+    levels: List[List[Cluster]],
+    config: CTSConfig,
+) -> ClockTree:
+    """Materialize the cluster hierarchy as a ClockTree (top-down)."""
+    tree = ClockTree()
+    source = tree.add_source(source_location)
+    top_level = len(levels) - 1
+
+    def build(level: int, cluster: Cluster, parent: int) -> None:
+        size = _level_size(level, top_level, config)
+        buf = tree.add_buffer(parent, cluster.center, size)
+        if level == 0:
+            for idx in cluster.indices:
+                tree.add_sink(buf, sink_locations[idx])
+        else:
+            for idx in cluster.indices:
+                build(level - 1, levels[level - 1][idx], buf)
+
+    for cluster in levels[top_level]:
+        build(top_level, cluster, source)
+    return tree
+
+
+# ----------------------------------------------------------------------
+# Repeaters and legalization
+# ----------------------------------------------------------------------
+def _insert_repeaters(tree: ClockTree, config: CTSConfig) -> None:
+    """Insert repeaters so no edge span exceeds the configured spacing."""
+    spacing = config.repeater_spacing_um
+    for child in list(tree.node_ids()):
+        if child not in tree or tree.parent(child) is None:
+            continue
+        length = tree.edge_length(child)
+        if length <= spacing:
+            continue
+        count = int(length // spacing)
+        parent = tree.parent(child)
+        targets = uniform_points_between(
+            tree.node(parent).location, tree.node(child).location, count
+        )
+        for target in targets:
+            tree.insert_buffer_on_edge(child, target, config.repeater_size)
+
+
+def _legalize_buffers(tree: ClockTree, legalizer: Legalizer) -> None:
+    """Snap every buffer to a free site (deterministic order)."""
+    for nid in sorted(tree.buffers()):
+        legal = legalizer.legalize(tree, nid, tree.node(nid).location)
+        tree.move_node(nid, legal)
+
+
+# ----------------------------------------------------------------------
+# Nominal-corner balancing
+# ----------------------------------------------------------------------
+def _probe_delay_slope(library: Library) -> float:
+    """ps per um of added sink-edge wire, measured on a probe net.
+
+    One global estimate is enough: the balance loop re-measures latencies
+    every round, so slope error only affects convergence rate.
+    """
+    timer = GoldenTimer(library)
+    corner = library.corners.nominal
+
+    def probe_latency(length: float) -> float:
+        tree = ClockTree()
+        src = tree.add_source(Point(0.0, 0.0))
+        buf = tree.add_buffer(src, Point(50.0, 0.0), 8)
+        tree.add_sink(buf, Point(50.0 + length, 0.0))
+        timing = timer.analyze_corner(tree, corner)
+        sink = tree.sinks()[0]
+        return timing.arrival[sink]
+
+    base, longer = probe_latency(80.0), probe_latency(160.0)
+    slope = (longer - base) / 80.0
+    return max(slope, 1e-3)
+
+
+def _balance_nominal_skew(
+    tree: ClockTree,
+    library: Library,
+    region: BBox,
+    config: CTSConfig,
+) -> None:
+    """Iteratively snake sink edges to equalize nominal-corner latency."""
+    timer = GoldenTimer(library)
+    corner = library.corners.nominal
+    slope = _probe_delay_slope(library)
+    sinks = tree.sinks()
+
+    for _ in range(config.balance_rounds):
+        timing = timer.analyze_corner(tree, corner)
+        latencies = {s: timing.arrival[s] for s in sinks}
+        max_latency = max(latencies.values())
+        adjusted = 0
+        for sink in sinks:
+            deficit = max_latency - latencies[sink]
+            if deficit <= config.balance_tolerance_ps:
+                continue
+            extra = min(deficit / slope, config.max_snake_per_round_um)
+            target = tree.edge_length(sink) + extra
+            reroute_edge(tree, sink, target, region)
+            adjusted += 1
+        if adjusted == 0:
+            break

@@ -1,0 +1,91 @@
+"""The ``Design`` bundle: everything one testcase carries through the flow.
+
+A design couples a clock tree with its technology library, floorplan
+region, legalizer, datapath sink pairs and the selected critical-pair
+subset that the optimization objective sums over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+from repro.eco.legalize import Legalizer
+from repro.geometry import BBox
+from repro.netlist.sink_pairs import DatapathPair, select_critical_pairs
+from repro.netlist.tree import ClockTree
+from repro.tech.library import Library
+
+
+@dataclass
+class Design:
+    """One testcase instance.
+
+    Attributes
+    ----------
+    name:
+        Testcase name (e.g. ``"CLS1v1"``).
+    tree:
+        The routed clock tree (mutated in place by optimization flows that
+        commit; trial moves operate on clones).
+    library:
+        Technology library, including the corner set in force.
+    datapaths:
+        All sequentially adjacent sink pairs with slacks.
+    pairs:
+        The launch/capture pair keys the objective optimizes (union of
+        per-corner top-K critical pairs).
+    region:
+        Floorplan bounding box (placement and detours stay inside it).
+    legalizer:
+        Site legalizer for the region.
+    """
+
+    name: str
+    tree: ClockTree
+    library: Library
+    datapaths: List[DatapathPair]
+    pairs: List[Tuple[int, int]]
+    region: BBox
+    legalizer: Legalizer
+
+    @staticmethod
+    def assemble(
+        name: str,
+        tree: ClockTree,
+        library: Library,
+        datapaths: Sequence[DatapathPair],
+        region: BBox,
+        top_k: int,
+        site_pitch_um: float = 5.0,
+    ) -> "Design":
+        """Build a design, selecting the critical-pair subset (Section 5.2)."""
+        tree.validate()
+        pairs = select_critical_pairs(
+            list(datapaths), [c.name for c in library.corners], top_k
+        )
+        return Design(
+            name=name,
+            tree=tree,
+            library=library,
+            datapaths=list(datapaths),
+            pairs=pairs,
+            region=region,
+            legalizer=Legalizer(region=region, pitch_um=site_pitch_um),
+        )
+
+    def with_tree(self, tree: ClockTree) -> "Design":
+        """A shallow copy of the design carrying a different tree."""
+        return replace(self, tree=tree)
+
+    def clock_cell_count(self) -> int:
+        """Number of clock cells: inverter pairs count as two inverters."""
+        return 2 * (len(self.tree.buffers()) + 1)  # +1 for the source driver
+
+    def clock_cell_area_um2(self) -> float:
+        """Total placed area of clock cells (both inverters of each pair)."""
+        lib = self.library
+        area = 2.0 * lib.cell_area_um2(lib.source_drive_size)
+        for nid in self.tree.buffers():
+            area += 2.0 * lib.cell_area_um2(self.tree.node(nid).size)
+        return area

@@ -1,0 +1,9 @@
+"""ECO substrate: placement legalization and clock-tree ECO operators.
+
+These modules play the role of the commercial P&R tool's incremental ECO
+capabilities (place/legalize/route) that the paper's framework drives
+through its "robust interface".  Crucially, ECOs here — like real ones —
+do *not* land exactly where requested: buffer positions snap to legal
+sites and detours clamp to the floorplan, producing the desired-vs-actual
+delay discrepancy the paper's Algorithm 1 and ML predictors must absorb.
+"""

@@ -1,0 +1,189 @@
+"""High-level ECO operators on clock trees.
+
+Each operator combines a topology/placement mutation with legalization
+and edge re-routing, mirroring the paper's ECO primitives:
+
+* :func:`apply_displacement` / :func:`apply_sizing` — the local optimizer's
+  type-I/II move ingredients;
+* :func:`apply_tree_surgery` — type-III driver reassignment;
+* :func:`rebuild_arc` — the global ECO's inverter-pair re-insertion with
+  uniform spacing and optional U-shape detour (paper Section 4.1).
+
+Operators mutate the given tree in place; callers clone first for trial
+moves.  Every operator returns what was *actually* realized (post
+legalization and clamping), since the desired-vs-actual gap is part of the
+physics being modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.eco.legalize import Legalizer
+from repro.eco.router import reroute_edge
+from repro.geometry import BBox, Point, path_length, uniform_points_between
+from repro.netlist.tree import ClockTree
+from repro.route.detour import u_shape_via
+
+
+def apply_displacement(
+    tree: ClockTree, legalizer: Legalizer, nid: int, dx: float, dy: float
+) -> Point:
+    """Displace buffer ``nid`` by ``(dx, dy)`` and legalize.
+
+    Returns the legalized location (which may differ from the requested
+    target).  Incident edges keep their via points cleared — displacement
+    re-routes them directly.
+    """
+    node = tree.node(nid)
+    desired = node.location.translated(dx, dy)
+    legal = legalizer.legalize(tree, nid, desired)
+    tree.move_node(nid, legal)
+    tree.clear_edge_via(nid)
+    for child in tree.children(nid):
+        tree.clear_edge_via(child)
+    return legal
+
+
+def apply_sizing(tree: ClockTree, nid: int, new_size: int) -> int:
+    """Resize buffer ``nid``; returns the applied size."""
+    tree.resize_buffer(nid, new_size)
+    return new_size
+
+
+def apply_tree_surgery(tree: ClockTree, nid: int, new_parent: int) -> None:
+    """Reassign ``nid`` to ``new_parent`` (type-III move)."""
+    tree.reassign_parent(nid, new_parent)
+
+
+@dataclass(frozen=True)
+class ArcRebuildResult:
+    """What an arc rebuild actually realized."""
+
+    inserted_ids: Tuple[int, ...]
+    size: int
+    pair_count: int
+    spacing_um: float
+    route_length_um: float
+
+
+def rebuild_arc(
+    tree: ClockTree,
+    legalizer: Legalizer,
+    start: int,
+    end: int,
+    interior: Sequence[int],
+    size: int,
+    pair_count: int,
+    spacing_um: float,
+    region: Optional[BBox] = None,
+    wire_target_um: Optional[float] = None,
+) -> ArcRebuildResult:
+    """Re-implement one arc with ``pair_count`` inverter pairs of ``size``.
+
+    Implements the paper's ECO recipe: remove the arc's current inverter
+    pairs, then insert ``pair_count`` pairs of one gate size, uniformly
+    spaced at ``spacing_um`` between consecutive *pairs'* positions.  When
+    the implied chain length ``(pair_count + 1) * spacing`` exceeds the
+    direct anchor-to-anchor distance, the chain is placed along a U-shape
+    detour; when it is shorter, the pairs simply spread over the direct
+    route (effective spacing grows — exactly the discreteness the LP's
+    Constraint (11) tries to respect).
+
+    ``interior`` must be the arc's current interior buffer ids (from a
+    fresh :func:`~repro.netlist.arcs.extract_arcs` run).  Returns the
+    realized configuration.
+    """
+    if pair_count < 0:
+        raise ValueError("pair_count must be non-negative")
+    if spacing_um <= 0:
+        raise ValueError("spacing must be positive")
+
+    for nid in interior:
+        tree.remove_buffer(nid)
+    # After splicing, `end`'s incoming edge comes straight from `start`.
+    if tree.parent(end) != start:
+        raise ValueError("interior list did not match the arc")
+
+    start_loc = tree.node(start).location
+    end_loc = tree.node(end).location
+    direct = start_loc.manhattan(end_loc)
+
+    if pair_count == 0:
+        # Wire-only arc: route to the requested total length (detour when
+        # longer than direct; never shorter than direct).
+        realized = reroute_edge(tree, end, wire_target_um or direct, region)
+        return ArcRebuildResult((), size, 0, spacing_um, realized)
+
+    # Each pair occupies one placed node; the chain start->p1->..->pu->end
+    # has (pair_count + 1) spans.  A pair internally contains two inverters
+    # whose mutual wire is the same spacing (see stage_lut), so the modeled
+    # stage wirelength is 2 * spacing.
+    chain_length = (pair_count + 1) * spacing_um
+    via = ()
+    if chain_length > direct:
+        via = u_shape_via(start_loc, end_loc, chain_length - direct, region)
+
+    polyline = [start_loc, *via, end_loc]
+    route_length = path_length(polyline)
+    targets = uniform_points_between(start_loc, end_loc, pair_count, via=via)
+
+    inserted: List[int] = []
+    attach_edge = end
+    for target in targets:
+        new_id = tree.insert_buffer_on_edge(attach_edge, target, size)
+        legal = legalizer.legalize(tree, new_id, target)
+        tree.move_node(new_id, legal)
+        inserted.append(new_id)
+        attach_edge = end  # keep inserting between the last buffer and `end`
+
+    # Re-install the detour on the final hop if one was needed: distribute
+    # the U across the chain by detouring each hop proportionally.
+    if via:
+        _distribute_detour(tree, legalizer.region, start, inserted, end, route_length)
+
+    realized_length = _arc_route_length(tree, start, inserted, end)
+    spacing_realized = realized_length / (pair_count + 1)
+    return ArcRebuildResult(
+        inserted_ids=tuple(inserted),
+        size=size,
+        pair_count=pair_count,
+        spacing_um=spacing_realized,
+        route_length_um=realized_length,
+    )
+
+
+def _arc_route_length(
+    tree: ClockTree, start: int, interior: Sequence[int], end: int
+) -> float:
+    """Total routed length of the rebuilt arc."""
+    total = 0.0
+    for nid in list(interior) + [end]:
+        total += tree.edge_length(nid)
+    return total
+
+
+def _distribute_detour(
+    tree: ClockTree,
+    region: BBox,
+    start: int,
+    interior: Sequence[int],
+    end: int,
+    target_total: float,
+) -> None:
+    """Spread detour length across the arc's hops to hit ``target_total``.
+
+    The inserted buffers already sit along the U, so most of the detour is
+    realized by placement; this pass tops up each hop's route so the total
+    matches the requested chain length as closely as clamping allows.
+    """
+    hops = list(interior) + [end]
+    current = _arc_route_length(tree, start, interior, end)
+    deficit = target_total - current
+    if deficit <= 1.0:
+        return
+    per_hop = deficit / len(hops)
+    for nid in hops:
+        want = tree.edge_length(nid) + per_hop
+        reroute_edge(tree, nid, want, region)

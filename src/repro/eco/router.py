@@ -1,0 +1,51 @@
+"""Incremental ECO routing of clock-tree edges.
+
+Edges default to direct (L-shaped) routes whose length equals the
+Manhattan distance; when the global ECO needs extra wire delay it installs
+a U-shape detour.  Like a real router, the realized length can differ from
+the request: detours are clamped into the floorplan region and via points
+snap to the routing grid.  Callers must re-measure with
+:meth:`ClockTree.edge_length` — never trust the request.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry import BBox, Point
+from repro.netlist.tree import ClockTree
+from repro.route.detour import u_shape_via
+
+#: Routing grid pitch (um); via points snap to it.
+ROUTE_GRID_UM = 1.0
+
+
+def _snap_to_grid(point: Point, grid: float = ROUTE_GRID_UM) -> Point:
+    return Point(round(point.x / grid) * grid, round(point.y / grid) * grid)
+
+
+def reroute_edge(
+    tree: ClockTree,
+    child: int,
+    target_length: float,
+    region: Optional[BBox] = None,
+) -> float:
+    """Re-route the edge into ``child`` aiming at ``target_length`` (um).
+
+    Installs a direct route when the target is at most the pin-to-pin
+    Manhattan distance, otherwise a U-shape detour.  Returns the *realized*
+    length, which may fall short of the target when the region clips the
+    detour.
+    """
+    parent = tree.parent(child)
+    if parent is None:
+        raise ValueError("the root has no incoming edge")
+    start = tree.node(parent).location
+    end = tree.node(child).location
+    direct = start.manhattan(end)
+    if target_length <= direct:
+        tree.clear_edge_via(child)
+        return direct
+    via = u_shape_via(start, end, target_length - direct, region)
+    tree.set_edge_via(child, tuple(_snap_to_grid(p) for p in via))
+    return tree.edge_length(child)

@@ -1,0 +1,1 @@
+"""Clock-tree netlist: topology, arcs, and sequentially adjacent sink pairs."""

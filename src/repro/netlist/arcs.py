@@ -1,0 +1,119 @@
+"""Arc extraction (paper Table 1: ``s_j`` — tree segment without branching).
+
+An *anchor* is a node where an arc must start or end: the source, every
+sink, and every node with fanout other than one.  An arc is the maximal
+chain of single-fanout interior nodes between two anchors.  Arc delays are
+measured as the golden-timer arrival difference between the end anchor and
+start anchor, so sink latency is exactly the sum of arc delays along its
+root path — the additivity the LP formulation relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.netlist.tree import ClockTree
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One unbranching clock-tree segment.
+
+    ``interior`` lists the single-fanout buffers strictly between the two
+    anchors, in driver-to-load order.  ``edges`` lists the child node id of
+    every tree edge the arc traverses (again in order); the first edge
+    leaves ``start`` and the last one enters ``end``.
+    """
+
+    index: int
+    start: int
+    end: int
+    interior: Tuple[int, ...]
+    edges: Tuple[int, ...]
+
+    @property
+    def node_count(self) -> int:
+        """Number of interior buffers."""
+        return len(self.interior)
+
+
+def _is_anchor(tree: ClockTree, nid: int) -> bool:
+    node = tree.node(nid)
+    if node.is_source or node.is_sink:
+        return True
+    return len(tree.children(nid)) != 1
+
+
+def extract_arcs(tree: ClockTree) -> List[Arc]:
+    """Extract every arc of ``tree`` in topological (root-first) order."""
+    arcs: List[Arc] = []
+    for anchor in tree.topological_order():
+        if not _is_anchor(tree, anchor):
+            continue
+        for child in tree.children(anchor):
+            interior: List[int] = []
+            edges: List[int] = [child]
+            cur = child
+            while not _is_anchor(tree, cur):
+                interior.append(cur)
+                nxt = tree.children(cur)[0]
+                edges.append(nxt)
+                cur = nxt
+            arcs.append(
+                Arc(
+                    index=len(arcs),
+                    start=anchor,
+                    end=cur,
+                    interior=tuple(interior),
+                    edges=tuple(edges),
+                )
+            )
+    return arcs
+
+
+def arcs_on_path(tree: ClockTree, arcs: List[Arc], sink: int) -> List[Arc]:
+    """Arcs traversed from the root to ``sink``, in root-first order."""
+    by_end: Dict[int, Arc] = {arc.end: arc for arc in arcs}
+    path: List[Arc] = []
+    cur = sink
+    root = tree.root
+    while cur != root:
+        arc = by_end.get(cur)
+        if arc is None:
+            raise ValueError(
+                f"node {cur} is not an arc endpoint; arcs are stale for this tree"
+            )
+        path.append(arc)
+        cur = arc.start
+    path.reverse()
+    return path
+
+
+def arc_membership(arcs: List[Arc]) -> Dict[int, int]:
+    """Map every interior node id to the index of the arc containing it."""
+    owner: Dict[int, int] = {}
+    for arc in arcs:
+        for nid in arc.interior:
+            owner[nid] = arc.index
+    return owner
+
+
+def path_arc_indices(
+    tree: ClockTree, arcs: List[Arc], sinks: List[int]
+) -> Dict[int, Tuple[int, ...]]:
+    """For each sink, the tuple of arc indices on its root path (cached walk)."""
+    by_end: Dict[int, Arc] = {arc.end: arc for arc in arcs}
+    memo: Dict[int, Tuple[int, ...]] = {tree.root: ()}
+
+    def resolve(nid: int) -> Tuple[int, ...]:
+        if nid in memo:
+            return memo[nid]
+        arc = by_end.get(nid)
+        if arc is None:
+            raise ValueError(f"node {nid} is not an arc endpoint")
+        result = resolve(arc.start) + (arc.index,)
+        memo[nid] = result
+        return result
+
+    return {sink: resolve(sink) for sink in sinks}

@@ -1,0 +1,92 @@
+"""Clock-tree and design serialization (JSON-compatible dicts).
+
+Optimization runs on the larger testcases are minutes-long; persisting
+trees lets users checkpoint flows, diff optimized results against
+baselines, and ship reproducible artifacts.  The format is a plain dict
+(stable key names, schema-versioned) so it round-trips through ``json``
+without custom encoders.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.geometry import Point
+from repro.netlist.tree import ClockTree, NodeKind
+
+#: Format version written into every serialized tree.
+SCHEMA_VERSION = 1
+
+
+def tree_to_dict(tree: ClockTree) -> Dict[str, Any]:
+    """Serialize a clock tree to a JSON-compatible dict."""
+    tree.validate()
+    nodes: List[Dict[str, Any]] = []
+    for nid in tree.topological_order():
+        node = tree.node(nid)
+        entry: Dict[str, Any] = {
+            "id": nid,
+            "kind": node.kind.value,
+            "x": node.location.x,
+            "y": node.location.y,
+            "parent": tree.parent(nid),
+        }
+        if node.size is not None:
+            entry["size"] = node.size
+        if node.via:
+            entry["via"] = [[p.x, p.y] for p in node.via]
+        nodes.append(entry)
+    return {"schema": SCHEMA_VERSION, "nodes": nodes}
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> ClockTree:
+    """Rebuild a clock tree from :func:`tree_to_dict` output.
+
+    Node ids are preserved exactly (sink-pair lists and arc references
+    stay valid across a round trip).
+    """
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {schema!r}")
+    nodes = payload["nodes"]
+    if not nodes or nodes[0]["kind"] != NodeKind.SOURCE.value:
+        raise ValueError("first serialized node must be the source")
+
+    entries = []
+    for entry in nodes:
+        entries.append(
+            (
+                int(entry["id"]),
+                NodeKind(entry["kind"]),
+                Point(float(entry["x"]), float(entry["y"])),
+                int(entry["size"]) if "size" in entry else None,
+                tuple(
+                    Point(float(x), float(y)) for x, y in entry.get("via", [])
+                ),
+                entry["parent"],
+            )
+        )
+    return ClockTree.restore(entries)
+
+
+def tree_to_json(tree: ClockTree, indent: int = None) -> str:
+    """Serialize a tree to a JSON string."""
+    return json.dumps(tree_to_dict(tree), indent=indent)
+
+
+def tree_from_json(text: str) -> ClockTree:
+    """Rebuild a tree from :func:`tree_to_json` output."""
+    return tree_from_dict(json.loads(text))
+
+
+def save_tree(tree: ClockTree, path: str) -> None:
+    """Write a tree to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        handle.write(tree_to_json(tree, indent=1))
+
+
+def load_tree(path: str) -> ClockTree:
+    """Read a tree previously written by :func:`save_tree`."""
+    with open(path) as handle:
+        return tree_from_json(handle.read())

@@ -1,0 +1,394 @@
+"""The clock tree netlist.
+
+A :class:`ClockTree` is a rooted tree of placed nodes:
+
+* one **source** (the clock root driver),
+* **buffer** nodes — each models one *inverter pair* of a given drive size
+  (the paper constructs clock trees from inverter pairs; a pair is
+  non-inverting, so tree polarity is uniform),
+* **sink** nodes — flip-flop clock pins (leaves).
+
+Every edge ``parent -> child`` is an independently routed two-pin
+connection; its geometry is the Manhattan polyline through optional ``via``
+points stored on the child (used for U-shape detours).  Multi-fanout
+drivers therefore present a star-topology RC load; see DESIGN.md for why
+this substitution is behaviour-preserving.
+
+The class exposes exactly the mutation set the paper's optimizers need:
+move, resize, reassign driver (tree surgery), insert/remove buffers, and
+edge detour assignment — each with validation.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.geometry import BBox, Point, path_length
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the clock tree."""
+
+    SOURCE = "source"
+    BUFFER = "buffer"
+    SINK = "sink"
+
+
+@dataclass
+class ClockNode:
+    """One placed clock-tree node.
+
+    ``size`` is the inverter-pair drive strength for buffers and ``None``
+    otherwise.  ``via`` holds the intermediate routing points of the edge
+    from this node's parent to this node (empty = direct L-route, whose
+    length equals the Manhattan distance).
+    """
+
+    id: int
+    kind: NodeKind
+    location: Point
+    size: Optional[int] = None
+    via: Tuple[Point, ...] = ()
+
+    @property
+    def is_buffer(self) -> bool:
+        return self.kind is NodeKind.BUFFER
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind is NodeKind.SINK
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is NodeKind.SOURCE
+
+
+class ClockTree:
+    """Mutable clock-tree container with integrity checking."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ClockNode] = {}
+        self._parent: Dict[int, Optional[int]] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._root: Optional[int] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _allocate(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def add_source(self, location: Point) -> int:
+        """Create the clock source; must be called exactly once, first."""
+        if self._root is not None:
+            raise ValueError("tree already has a source")
+        nid = self._allocate()
+        self._nodes[nid] = ClockNode(nid, NodeKind.SOURCE, location)
+        self._parent[nid] = None
+        self._children[nid] = []
+        self._root = nid
+        return nid
+
+    def add_buffer(self, parent: int, location: Point, size: int) -> int:
+        """Add an inverter-pair buffer of drive ``size`` below ``parent``."""
+        self._require(parent)
+        if self._nodes[parent].is_sink:
+            raise ValueError("cannot drive from a sink")
+        nid = self._allocate()
+        self._nodes[nid] = ClockNode(nid, NodeKind.BUFFER, location, size=size)
+        self._parent[nid] = parent
+        self._children[nid] = []
+        self._children[parent].append(nid)
+        return nid
+
+    def add_sink(self, parent: int, location: Point) -> int:
+        """Add a flip-flop sink below ``parent``."""
+        self._require(parent)
+        if self._nodes[parent].is_sink:
+            raise ValueError("cannot drive from a sink")
+        nid = self._allocate()
+        self._nodes[nid] = ClockNode(nid, NodeKind.SINK, location)
+        self._parent[nid] = parent
+        self._children[nid] = []
+        self._children[parent].append(nid)
+        return nid
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        if self._root is None:
+            raise ValueError("tree has no source")
+        return self._root
+
+    def _require(self, nid: int) -> None:
+        if nid not in self._nodes:
+            raise KeyError(f"no node {nid}")
+
+    def node(self, nid: int) -> ClockNode:
+        self._require(nid)
+        return self._nodes[nid]
+
+    def parent(self, nid: int) -> Optional[int]:
+        self._require(nid)
+        return self._parent[nid]
+
+    def children(self, nid: int) -> Tuple[int, ...]:
+        self._require(nid)
+        return tuple(self._children[nid])
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[ClockNode]:
+        return iter(list(self._nodes.values()))
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def sinks(self) -> List[int]:
+        return [n.id for n in self._nodes.values() if n.is_sink]
+
+    def buffers(self) -> List[int]:
+        return [n.id for n in self._nodes.values() if n.is_buffer]
+
+    def drivers(self) -> List[int]:
+        """Nodes that drive a net: the source plus every buffer with fanout."""
+        return [
+            n.id
+            for n in self._nodes.values()
+            if not n.is_sink and self._children[n.id]
+        ]
+
+    def path_to_root(self, nid: int) -> List[int]:
+        """Node ids from ``nid`` up to and including the root."""
+        self._require(nid)
+        path = [nid]
+        cur = self._parent[nid]
+        while cur is not None:
+            path.append(cur)
+            cur = self._parent[cur]
+        return path
+
+    def buffer_level(self, nid: int) -> int:
+        """Number of buffers on the path from the root to ``nid`` (inclusive)."""
+        return sum(1 for n in self.path_to_root(nid) if self._nodes[n].is_buffer)
+
+    def subtree_ids(self, nid: int) -> List[int]:
+        """All node ids in the subtree rooted at ``nid`` (pre-order)."""
+        self._require(nid)
+        out: List[int] = []
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            out.append(cur)
+            stack.extend(reversed(self._children[cur]))
+        return out
+
+    def subtree_sinks(self, nid: int) -> List[int]:
+        """Sink ids within the subtree rooted at ``nid``."""
+        return [i for i in self.subtree_ids(nid) if self._nodes[i].is_sink]
+
+    def topological_order(self) -> List[int]:
+        """Root-first order (BFS)."""
+        order: List[int] = []
+        queue = [self.root]
+        while queue:
+            nid = queue.pop(0)
+            order.append(nid)
+            queue.extend(self._children[nid])
+        return order
+
+    # ------------------------------------------------------------------
+    # Edge geometry
+    # ------------------------------------------------------------------
+    def edge_polyline(self, child: int) -> List[Point]:
+        """Routing polyline of the edge into ``child`` (parent -> child)."""
+        parent = self._parent[child]
+        if parent is None:
+            raise ValueError("the root has no incoming edge")
+        node = self._nodes[child]
+        return [self._nodes[parent].location, *node.via, node.location]
+
+    def edge_length(self, child: int) -> float:
+        """Routed Manhattan length (um) of the edge into ``child``."""
+        return path_length(self.edge_polyline(child))
+
+    def set_edge_via(self, child: int, via: Sequence[Point]) -> None:
+        """Replace the routing via points of the edge into ``child``."""
+        if self._parent[child] is None:
+            raise ValueError("the root has no incoming edge")
+        self._nodes[child].via = tuple(via)
+
+    def clear_edge_via(self, child: int) -> None:
+        """Restore a direct route for the edge into ``child``."""
+        self.set_edge_via(child, ())
+
+    def total_wirelength(self) -> float:
+        """Sum of routed edge lengths (um)."""
+        return sum(
+            self.edge_length(nid)
+            for nid in self._nodes
+            if self._parent[nid] is not None
+        )
+
+    def bounding_box(self) -> BBox:
+        """Bounding box of all node locations."""
+        return BBox.of_points([n.location for n in self._nodes.values()])
+
+    # ------------------------------------------------------------------
+    # Mutations used by the optimizers
+    # ------------------------------------------------------------------
+    def move_node(self, nid: int, location: Point) -> None:
+        """Displace a buffer (sinks and the source are fixed by placement)."""
+        node = self.node(nid)
+        if not node.is_buffer:
+            raise ValueError("only buffers may be displaced")
+        node.location = location
+
+    def resize_buffer(self, nid: int, size: int) -> None:
+        """Change a buffer's inverter-pair drive size."""
+        node = self.node(nid)
+        if not node.is_buffer:
+            raise ValueError(f"node {nid} is not a buffer")
+        node.size = size
+
+    def reassign_parent(self, nid: int, new_parent: int) -> None:
+        """Tree surgery: detach ``nid`` from its driver and attach elsewhere.
+
+        Rejects reassignments that would create a cycle (new parent inside
+        the moved subtree) or drive from a sink.
+        """
+        self._require(nid)
+        self._require(new_parent)
+        if self._parent[nid] is None:
+            raise ValueError("cannot reassign the source")
+        if self._nodes[new_parent].is_sink:
+            raise ValueError("cannot drive from a sink")
+        if new_parent in self.subtree_ids(nid):
+            raise ValueError("reassignment would create a cycle")
+        old_parent = self._parent[nid]
+        if old_parent == new_parent:
+            return
+        self._children[old_parent].remove(nid)
+        self._children[new_parent].append(nid)
+        self._parent[nid] = new_parent
+        self._nodes[nid].via = ()
+
+    def insert_buffer_on_edge(self, child: int, location: Point, size: int) -> int:
+        """Insert a buffer between ``child`` and its current parent.
+
+        The new buffer takes over ``child``'s incoming edge; both resulting
+        edges start as direct routes.
+        """
+        parent = self._parent[child]
+        if parent is None:
+            raise ValueError("the root has no incoming edge")
+        nid = self._allocate()
+        self._nodes[nid] = ClockNode(nid, NodeKind.BUFFER, location, size=size)
+        self._children[nid] = [child]
+        self._parent[nid] = parent
+        idx = self._children[parent].index(child)
+        self._children[parent][idx] = nid
+        self._parent[child] = nid
+        self._nodes[child].via = ()
+        return nid
+
+    def remove_buffer(self, nid: int) -> None:
+        """Splice a buffer out; its children are adopted by its parent."""
+        node = self.node(nid)
+        if not node.is_buffer:
+            raise ValueError(f"node {nid} is not a buffer")
+        parent = self._parent[nid]
+        idx = self._children[parent].index(nid)
+        kids = self._children[nid]
+        self._children[parent][idx : idx + 1] = kids
+        for kid in kids:
+            self._parent[kid] = parent
+            self._nodes[kid].via = ()
+        del self._children[nid]
+        del self._parent[nid]
+        del self._nodes[nid]
+
+    @staticmethod
+    def restore(
+        entries: Sequence[Tuple[int, NodeKind, Point, Optional[int], Tuple[Point, ...], Optional[int]]]
+    ) -> "ClockTree":
+        """Rebuild a tree from ``(id, kind, location, size, via, parent)`` rows.
+
+        Rows must be topologically ordered (source first, parents before
+        children) and ids may be arbitrary non-negative integers — they
+        are preserved exactly, which is what serialization needs.  The
+        result is validated before being returned.
+        """
+        tree = ClockTree()
+        for nid, kind, location, size, via, parent in entries:
+            if nid in tree._nodes:
+                raise ValueError(f"duplicate node id {nid}")
+            if kind is NodeKind.SOURCE:
+                if tree._root is not None:
+                    raise ValueError("multiple sources in restore data")
+                tree._root = nid
+                tree._parent[nid] = None
+            else:
+                if parent not in tree._nodes:
+                    raise ValueError(
+                        f"node {nid} appears before its parent {parent}"
+                    )
+                tree._parent[nid] = parent
+                tree._children[parent].append(nid)
+            tree._nodes[nid] = ClockNode(
+                nid, kind, location, size=size, via=tuple(via)
+            )
+            tree._children[nid] = []
+            tree._next_id = max(tree._next_id, nid + 1)
+        tree.validate()
+        return tree
+
+    def clone(self) -> "ClockTree":
+        """Deep copy preserving node ids (for trial moves)."""
+        other = ClockTree.__new__(ClockTree)
+        other._nodes = {nid: copy.copy(n) for nid, n in self._nodes.items()}
+        other._parent = dict(self._parent)
+        other._children = {nid: list(kids) for nid, kids in self._children.items()}
+        other._root = self._root
+        other._next_id = self._next_id
+        return other
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any structural inconsistency."""
+        if self._root is None:
+            raise ValueError("tree has no source")
+        seen = set()
+        stack = [self._root]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                raise ValueError(f"cycle through node {nid}")
+            seen.add(nid)
+            for kid in self._children[nid]:
+                if self._parent[kid] != nid:
+                    raise ValueError(f"parent pointer mismatch at {kid}")
+                stack.append(kid)
+        if len(seen) != len(self._nodes):
+            raise ValueError(
+                f"{len(self._nodes) - len(seen)} node(s) unreachable from the source"
+            )
+        for node in self._nodes.values():
+            if node.is_sink and self._children[node.id]:
+                raise ValueError(f"sink {node.id} has fanout")
+            if node.is_buffer and node.size is None:
+                raise ValueError(f"buffer {node.id} has no size")

@@ -1,0 +1,126 @@
+"""Distributed RC tree representation for interconnect analysis.
+
+An :class:`RCTree` is rooted at a driver output.  Every node carries a
+grounded capacitance (fF); every non-root node connects to its parent
+through a resistance (kOhm).  Wire segments are discretized into pi-ish
+chains by the builders in :mod:`repro.route.rc_net`; this module only
+stores the tree and computes structural quantities (downstream caps,
+topological order) shared by the Elmore and D2M metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree."""
+
+    name: Hashable
+    cap_ff: float = 0.0
+    parent: Optional[Hashable] = None
+    res_kohm: float = 0.0
+
+
+class RCTree:
+    """A rooted RC tree with named nodes.
+
+    Build with :meth:`add_root` then :meth:`add_node`; parents must be added
+    before children, which guarantees the internal order is topological.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Hashable, RCNode] = {}
+        self._children: Dict[Hashable, List[Hashable]] = {}
+        self._root: Optional[Hashable] = None
+
+    @property
+    def root(self) -> Hashable:
+        if self._root is None:
+            raise ValueError("RC tree has no root")
+        return self._root
+
+    def add_root(self, name: Hashable, cap_ff: float = 0.0) -> None:
+        """Create the root node (the driver output)."""
+        if self._root is not None:
+            raise ValueError("root already set")
+        if cap_ff < 0:
+            raise ValueError("negative capacitance")
+        self._root = name
+        self._nodes[name] = RCNode(name=name, cap_ff=cap_ff)
+        self._children[name] = []
+
+    def add_node(
+        self, name: Hashable, parent: Hashable, res_kohm: float, cap_ff: float
+    ) -> None:
+        """Attach a node below ``parent`` through ``res_kohm``."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate RC node {name!r}")
+        if parent not in self._nodes:
+            raise ValueError(f"parent {parent!r} not in tree")
+        if res_kohm < 0 or cap_ff < 0:
+            raise ValueError("negative RC values")
+        self._nodes[name] = RCNode(
+            name=name, cap_ff=cap_ff, parent=parent, res_kohm=res_kohm
+        )
+        self._children[name] = []
+        self._children[parent].append(name)
+
+    def add_cap(self, name: Hashable, extra_ff: float) -> None:
+        """Add grounded capacitance at an existing node (e.g. a pin load)."""
+        if extra_ff < 0:
+            raise ValueError("negative capacitance")
+        self._nodes[name].cap_ff += extra_ff
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: Hashable) -> RCNode:
+        return self._nodes[name]
+
+    def children(self, name: Hashable) -> Tuple[Hashable, ...]:
+        return tuple(self._children[name])
+
+    def nodes_topological(self) -> List[Hashable]:
+        """Node names in root-first topological order (insertion order)."""
+        return list(self._nodes)
+
+    def nodes_reverse_topological(self) -> List[Hashable]:
+        """Node names leaves-first."""
+        return list(reversed(list(self._nodes)))
+
+    def total_cap_ff(self) -> float:
+        """Total grounded capacitance of the tree (the driver's load)."""
+        return sum(n.cap_ff for n in self._nodes.values())
+
+    def downstream_caps(self) -> Dict[Hashable, float]:
+        """For each node, the total capacitance in its subtree (incl. itself)."""
+        down: Dict[Hashable, float] = {
+            name: node.cap_ff for name, node in self._nodes.items()
+        }
+        for name in self.nodes_reverse_topological():
+            parent = self._nodes[name].parent
+            if parent is not None:
+                down[parent] += down[name]
+        return down
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the tree is malformed (cycle/orphan)."""
+        if self._root is None:
+            raise ValueError("no root")
+        seen = set()
+        stack = [self._root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                raise ValueError(f"cycle through {name!r}")
+            seen.add(name)
+            stack.extend(self._children[name])
+        if len(seen) != len(self._nodes):
+            orphans = set(self._nodes) - seen
+            raise ValueError(f"orphan RC nodes: {sorted(map(str, orphans))}")

@@ -1,0 +1,8 @@
+"""Routing estimation substrate.
+
+Provides the two route-topology generators the paper's delta-latency
+predictor uses (a FLUTE-like rectilinear Steiner minimal tree and a
+single-trunk Steiner tree), U-shape detour geometry for the global ECO,
+and builders that turn route geometry plus a wire model into
+:class:`~repro.sta.rc_tree.RCTree` instances.
+"""

@@ -1,0 +1,91 @@
+"""Router overhead model: the gap between route estimates and routes.
+
+The paper's delta-latency predictor exists because analytical route
+estimates (FLUTE / single-trunk + Elmore / D2M) systematically disagree
+with what the commercial router actually builds: congested regions force
+detours, high-fanout nets route less ideally, and per-net variation is
+irreducible.  Our golden timer models that with a deterministic
+*routed-length factor* applied to every edge:
+
+    factor = 1 + base + fanout term + density term + jitter
+
+* the **fanout term** grows with the net's fanout (bigger nets detour
+  more) — learnable, since fanout is a predictor feature;
+* the **density term** grows with the net's bounding-box area (a proxy
+  for the congestion the net crosses) — also a predictor feature;
+* the **jitter term** is a stable hash of the edge endpoints: per-edge
+  route variation that no estimate can recover (the irreducible part).
+
+The golden timer applies the full factor; the chain-level expectation
+(:func:`chain_length_factor`) is baked into the stage-delay LUT
+characterization, because the paper characterizes its LUTs through the
+actual P&R flow.  The analytical predictor models deliberately apply
+*no* factor — closing that gap is exactly what the machine-learning
+models are for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Optional
+
+from repro.geometry import Point
+
+#: Constant routing overhead (vias, non-ideal escapes).
+BASE_OVERHEAD = 0.02
+
+#: Maximum fanout-driven overhead (saturating).
+FANOUT_OVERHEAD = 0.09
+
+#: Fanout scale of the saturating term.
+FANOUT_SCALE = 10.0
+
+#: Maximum congestion(-proxy)-driven overhead.
+DENSITY_OVERHEAD = 0.05
+
+#: Bounding-box area (um^2) at which the density term saturates.
+DENSITY_AREA_SCALE = 20000.0
+
+#: Peak-to-peak per-edge jitter.
+JITTER_SPAN = 0.015
+
+
+def _edge_hash_unit(start: Point, end: Point) -> float:
+    """Stable pseudo-random value in [0, 1) from the edge endpoints."""
+    key = f"{start.x:.1f},{start.y:.1f}:{end.x:.1f},{end.y:.1f}".encode()
+    digest = hashlib.blake2b(key, digest_size=4).digest()
+    return int.from_bytes(digest, "little") / 2**32
+
+
+def routed_length_factor(
+    fanout: int,
+    bbox_area_um2: float,
+    start: Optional[Point] = None,
+    end: Optional[Point] = None,
+) -> float:
+    """Multiplier applied to an edge's estimated length by the router.
+
+    With ``start``/``end`` given, the jitter term is the edge's own hash;
+    without them (characterization-time), the expected jitter is used.
+    """
+    if fanout < 1:
+        raise ValueError("a routed net has at least one fanout")
+    fan = FANOUT_OVERHEAD * math.tanh(fanout / FANOUT_SCALE)
+    density = DENSITY_OVERHEAD * min(max(bbox_area_um2, 0.0) / DENSITY_AREA_SCALE, 1.0)
+    if start is None or end is None:
+        jitter = JITTER_SPAN * 0.5
+    else:
+        jitter = JITTER_SPAN * _edge_hash_unit(start, end)
+    return 1.0 + BASE_OVERHEAD + fan + density + jitter
+
+
+def chain_length_factor() -> float:
+    """Expected factor for single-fanout (chain) edges.
+
+    This is what the stage-delay LUT characterization bakes in: the
+    technology team measures stage delays through the router, so the
+    chain-level overhead is part of the table, not part of the ECO's
+    estimation error.
+    """
+    return routed_length_factor(1, 0.0)

@@ -1,0 +1,72 @@
+"""Routing-detour geometry for the global ECO.
+
+When the LP asks for *more* delay on an arc than buffering alone can give,
+the ECO lengthens the wire with a "U" shape (paper Section 4.1): the route
+leaves the direct path perpendicular to its dominant direction, runs
+parallel to it, and comes back.  A U of depth ``d`` adds exactly ``2 d`` to
+the Manhattan length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.geometry import BBox, Point
+
+
+def u_shape_via(
+    start: Point,
+    end: Point,
+    extra_length: float,
+    region: Optional[BBox] = None,
+) -> Tuple[Point, ...]:
+    """Via points that add ``extra_length`` to the route ``start -> end``.
+
+    The U bulges perpendicular to the dominant direction of travel, toward
+    whichever side keeps the via points inside ``region`` (when given) or
+    +x/+y otherwise.  ``extra_length <= 0`` returns no vias (direct route).
+    """
+    if extra_length <= 0.0:
+        return ()
+    depth = extra_length / 2.0
+    dx = abs(end.x - start.x)
+    dy = abs(end.y - start.y)
+    bulge_vertical = dx >= dy  # travel is mostly horizontal -> bulge in y
+
+    def vias(sign: float) -> Tuple[Point, ...]:
+        if bulge_vertical:
+            return (
+                Point(start.x, start.y + sign * depth),
+                Point(end.x, end.y + sign * depth),
+            )
+        return (
+            Point(start.x + sign * depth, start.y),
+            Point(end.x + sign * depth, end.y),
+        )
+
+    if region is None:
+        return vias(+1.0)
+    for sign in (+1.0, -1.0):
+        candidate = vias(sign)
+        if all(region.contains(p) for p in candidate):
+            return candidate
+    # Neither side fits entirely; clamp the better side into the region.
+    return tuple(region.clamp(p) for p in vias(+1.0))
+
+
+def detour_polyline(
+    start: Point,
+    end: Point,
+    target_length: float,
+    region: Optional[BBox] = None,
+) -> List[Point]:
+    """A polyline from ``start`` to ``end`` of roughly ``target_length``.
+
+    If the target is at most the direct Manhattan distance the direct route
+    is returned; otherwise a U-shape supplies the excess.  Region clamping
+    may shorten the realized detour — callers must re-measure, exactly as a
+    commercial router's ECO result must be re-extracted.
+    """
+    direct = start.manhattan(end)
+    via = u_shape_via(start, end, target_length - direct, region)
+    return [start, *via, end]

@@ -1,0 +1,130 @@
+"""Builders turning route geometry into distributed RC trees.
+
+Three builders cover every analysis need:
+
+* :func:`edge_rc_tree` — one routed edge (polyline) with a lumped load at
+  the far end; used for per-edge wire delay inside the golden timer.
+* :func:`star_rc_tree` — a driver with several independently routed edges
+  (the clock tree's electrical net model); the root is the driver output.
+* :func:`route_rc_tree` — an arbitrary :class:`~repro.route.rsmt.RouteTree`
+  (RSMT or single-trunk) with pin loads; used by the delta-latency
+  predictor's analytical features.
+
+All wire segments are discretized into pi-segments of at most
+``segment_um`` so that Elmore/D2M see distributed, not lumped, wire.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.geometry import Point, path_length
+from repro.route.rsmt import RouteTree
+from repro.rc import RCTree
+from repro.tech.wire import WireModel
+
+#: Default maximum RC segment length (um).
+DEFAULT_SEGMENT_UM = 20.0
+
+
+def _add_wire_path(
+    tree: RCTree,
+    start_name: Hashable,
+    end_name: Hashable,
+    length_um: float,
+    wire: WireModel,
+    segment_um: float,
+) -> None:
+    """Attach a discretized wire of ``length_um`` between two RC nodes.
+
+    Uses pi-segments: each segment contributes half its capacitance to its
+    near node and half to its far node, converging to the distributed line
+    as ``segment_um`` shrinks.
+    """
+    if length_um <= 0.0:
+        tree.add_node(end_name, start_name, res_kohm=0.0, cap_ff=0.0)
+        return
+    pieces = max(1, int(math.ceil(length_um / segment_um)))
+    piece_len = length_um / pieces
+    piece_res = wire.segment_res(piece_len)
+    piece_cap = wire.segment_cap(piece_len)
+    prev = start_name
+    tree.add_cap(prev, piece_cap / 2.0)
+    for i in range(pieces):
+        name = (end_name, "seg", i) if i < pieces - 1 else end_name
+        # Interior junctions take a half-cap from each adjacent segment.
+        cap = piece_cap if i < pieces - 1 else piece_cap / 2.0
+        tree.add_node(name, prev, res_kohm=piece_res, cap_ff=cap)
+        prev = name
+
+
+def edge_rc_tree(
+    polyline: Sequence[Point],
+    wire: WireModel,
+    load_ff: float,
+    segment_um: float = DEFAULT_SEGMENT_UM,
+) -> RCTree:
+    """RC tree of a single routed edge; sink node is named ``"sink"``."""
+    tree = RCTree()
+    tree.add_root("drv")
+    _add_wire_path(tree, "drv", "sink", path_length(list(polyline)), wire, segment_um)
+    tree.add_cap("sink", load_ff)
+    return tree
+
+
+def star_rc_tree(
+    edges: Sequence[Tuple[Hashable, Sequence[Point], float]],
+    wire: WireModel,
+    segment_um: float = DEFAULT_SEGMENT_UM,
+) -> RCTree:
+    """RC tree of a multi-fanout net routed as independent edges.
+
+    ``edges`` is a sequence of ``(sink_name, polyline, load_ff)``; every
+    polyline starts at the driver location.  The returned tree's root is
+    ``"drv"``; each sink's RC node carries its pin load.
+    """
+    tree = RCTree()
+    tree.add_root("drv")
+    for sink_name, polyline, load_ff in edges:
+        _add_wire_path(
+            tree, "drv", sink_name, path_length(list(polyline)), wire, segment_um
+        )
+        tree.add_cap(sink_name, load_ff)
+    return tree
+
+
+def route_rc_tree(
+    route: RouteTree,
+    root_pin: int,
+    pin_loads: Dict[int, float],
+    wire: WireModel,
+    segment_um: float = DEFAULT_SEGMENT_UM,
+) -> RCTree:
+    """RC tree of a shared routing topology rooted at ``root_pin``.
+
+    ``pin_loads`` maps pin indices (``< route.num_pins``) to capacitance;
+    RC node names are the route-tree point indices, so callers can read
+    delays at pin indices directly.
+    """
+    if root_pin >= len(route.points):
+        raise ValueError("root pin outside route tree")
+    adj = route.adjacency()
+    tree = RCTree()
+    tree.add_root(root_pin)
+    if root_pin in pin_loads:
+        tree.add_cap(root_pin, pin_loads[root_pin])
+    visited = {root_pin}
+    stack = [root_pin]
+    while stack:
+        cur = stack.pop()
+        for nxt in adj[cur]:
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            length = route.points[cur].manhattan(route.points[nxt])
+            _add_wire_path(tree, cur, nxt, length, wire, segment_um)
+            if nxt in pin_loads:
+                tree.add_cap(nxt, pin_loads[nxt])
+            stack.append(nxt)
+    return tree

@@ -1,0 +1,216 @@
+"""Rectilinear Steiner tree construction (FLUTE-stand-in).
+
+The paper uses FLUTE [Chu, ICCAD 2004] for fast route-topology estimation.
+FLUTE's published lookup tables are not redistributable, so we implement
+the classic *iterated 1-Steiner* heuristic (Kahng/Robins) over the Hanan
+grid for small nets and fall back to a rectilinear Prim MST for large
+nets.  Iterated 1-Steiner is within a few percent of optimal RSMT on the
+net sizes clock trees produce, which is the same accuracy class as FLUTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry import Point
+
+#: Nets at or below this pin count use iterated 1-Steiner; larger use MST.
+ONE_STEINER_MAX_PINS = 10
+
+
+@dataclass(frozen=True)
+class RouteTree:
+    """A routing tree over a point set.
+
+    ``points[:num_pins]`` are the original pins (pin *i* of the input keeps
+    index *i*); any further points are Steiner points.  ``edges`` are index
+    pairs; the tree is unrooted until consumed by an RC builder, which
+    roots it at the driver pin index.
+    """
+
+    points: Tuple[Point, ...]
+    edges: Tuple[Tuple[int, int], ...]
+    num_pins: int
+
+    @property
+    def length(self) -> float:
+        """Total Manhattan wirelength (um)."""
+        return sum(
+            self.points[a].manhattan(self.points[b]) for a, b in self.edges
+        )
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Undirected adjacency lists."""
+        adj: Dict[int, List[int]] = {i: [] for i in range(len(self.points))}
+        for a, b in self.edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        return adj
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless the tree spans all points acyclically."""
+        n = len(self.points)
+        if len(self.edges) != n - 1 and n > 0:
+            raise ValueError(
+                f"{len(self.edges)} edges cannot span {n} points as a tree"
+            )
+        if n == 0:
+            return
+        adj = self.adjacency()
+        seen: Set[int] = set()
+        stack = [0]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(adj[cur])
+        if len(seen) != n:
+            raise ValueError("route tree is disconnected")
+
+
+def _distance_matrix(points: Sequence[Point]) -> np.ndarray:
+    xs = np.asarray([p.x for p in points])
+    ys = np.asarray([p.y for p in points])
+    return np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+
+
+def _mst_edges(dist: np.ndarray) -> List[Tuple[int, int]]:
+    """Prim's algorithm on a dense Manhattan distance matrix."""
+    n = dist.shape[0]
+    if n <= 1:
+        return []
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = dist[0].copy()
+    best_src = np.zeros(n, dtype=int)
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        masked = np.where(in_tree, np.inf, best_dist)
+        nxt = int(np.argmin(masked))
+        edges.append((int(best_src[nxt]), nxt))
+        in_tree[nxt] = True
+        closer = dist[nxt] < best_dist
+        best_dist = np.where(closer, dist[nxt], best_dist)
+        best_src = np.where(closer, nxt, best_src)
+    return edges
+
+
+def _mst_length(dist: np.ndarray) -> float:
+    n = dist.shape[0]
+    if n <= 1:
+        return 0.0
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best = dist[0].copy()
+    total = 0.0
+    for _ in range(n - 1):
+        masked = np.where(in_tree, np.inf, best)
+        nxt = int(np.argmin(masked))
+        total += masked[nxt]
+        in_tree[nxt] = True
+        best = np.minimum(best, dist[nxt])
+    return float(total)
+
+
+def rectilinear_mst(points: Sequence[Point]) -> RouteTree:
+    """Rectilinear minimum spanning tree over ``points`` (no Steiner points)."""
+    pts = tuple(points)
+    if not pts:
+        raise ValueError("cannot route an empty pin set")
+    dist = _distance_matrix(pts)
+    return RouteTree(points=pts, edges=tuple(_mst_edges(dist)), num_pins=len(pts))
+
+
+def _hanan_candidates(points: Sequence[Point]) -> List[Point]:
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    existing = {(p.x, p.y) for p in points}
+    return [
+        Point(x, y) for x in xs for y in ys if (x, y) not in existing
+    ]
+
+
+def rsmt(points: Sequence[Point]) -> RouteTree:
+    """Rectilinear Steiner tree over ``points``.
+
+    Uses iterated 1-Steiner (greedy Hanan-point insertion) for nets up to
+    :data:`ONE_STEINER_MAX_PINS` pins and a rectilinear MST beyond that.
+    Duplicated pin locations are handled (zero-length edges).
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot route an empty pin set")
+    if len(pts) <= 2 or len(pts) > ONE_STEINER_MAX_PINS:
+        return rectilinear_mst(pts)
+
+    chosen: List[Point] = []
+    current = list(pts)
+    current_len = _mst_length(_distance_matrix(current))
+    candidates = _hanan_candidates(pts)
+    while True:
+        best_gain = 1e-9
+        best_point = None
+        for cand in candidates:
+            trial = current + [cand]
+            gain = current_len - _mst_length(_distance_matrix(trial))
+            if gain > best_gain:
+                best_gain = gain
+                best_point = cand
+        if best_point is None:
+            break
+        chosen.append(best_point)
+        current.append(best_point)
+        current_len -= best_gain
+        candidates = [c for c in candidates if c != best_point]
+
+    all_points = tuple(pts) + tuple(chosen)
+    dist = _distance_matrix(all_points)
+    edges = _mst_edges(dist)
+    tree = RouteTree(points=all_points, edges=tuple(edges), num_pins=len(pts))
+    return _prune_useless_steiner(tree)
+
+
+def _prune_useless_steiner(tree: RouteTree) -> RouteTree:
+    """Remove degree-<=2 Steiner points by splicing their edges.
+
+    Degree-2 Steiner points on a Manhattan tree never reduce length and
+    degree-0/1 ones are pure overhead; pruning keeps RC builders lean.
+    """
+    points = list(tree.points)
+    edges = [tuple(e) for e in tree.edges]
+    changed = True
+    while changed:
+        changed = False
+        adj: Dict[int, List[int]] = {i: [] for i in range(len(points))}
+        for a, b in edges:
+            adj[a].append(b)
+            adj[b].append(a)
+        for idx in range(tree.num_pins, len(points)):
+            if points[idx] is None:
+                continue  # already pruned; only the final remap removes it
+            degree = len(adj[idx])
+            if degree >= 3:
+                continue
+            if degree == 2:
+                u, v = adj[idx]
+                edges = [e for e in edges if idx not in e]
+                edges.append((u, v))
+            elif degree == 1:
+                edges = [e for e in edges if idx not in e]
+            # degree 0 needs no edge surgery.
+            # Mark the point as dropped; indices remap below.
+            points[idx] = None
+            changed = True
+            break
+
+    keep = [i for i, p in enumerate(points) if p is not None]
+    remap = {old: new for new, old in enumerate(keep)}
+    new_points = tuple(points[i] for i in keep)
+    new_edges = tuple(
+        (remap[a], remap[b]) for a, b in edges if a in remap and b in remap
+    )
+    return RouteTree(points=new_points, edges=new_edges, num_pins=tree.num_pins)

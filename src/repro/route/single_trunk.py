@@ -1,0 +1,86 @@
+"""Single-trunk Steiner tree.
+
+The second route-topology estimator of the paper's predictor feature set:
+a single horizontal or vertical trunk at the median coordinate, with a
+perpendicular stub from every pin to the trunk.  The orientation with the
+smaller total wirelength is selected.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point
+from repro.route.rsmt import RouteTree
+
+
+def _trunk_tree(points: Sequence[Point], horizontal: bool) -> RouteTree:
+    pts = list(points)
+    if horizontal:
+        trunk_coord = statistics.median(p.y for p in pts)
+        taps = [Point(p.x, trunk_coord) for p in pts]
+        order = sorted(range(len(pts)), key=lambda i: (taps[i].x, i))
+    else:
+        trunk_coord = statistics.median(p.x for p in pts)
+        taps = [Point(trunk_coord, p.y) for p in pts]
+        order = sorted(range(len(pts)), key=lambda i: (taps[i].y, i))
+
+    all_points: List[Point] = list(pts)
+    edges: List[Tuple[int, int]] = []
+    tap_index: List[int] = []
+    for i, tap in enumerate(taps):
+        if tap == pts[i]:
+            tap_index.append(i)
+        else:
+            all_points.append(tap)
+            idx = len(all_points) - 1
+            edges.append((i, idx))
+            tap_index.append(idx)
+    for a, b in zip(order, order[1:]):
+        if tap_index[a] != tap_index[b]:
+            edges.append((tap_index[a], tap_index[b]))
+    return RouteTree(
+        points=tuple(all_points), edges=tuple(edges), num_pins=len(pts)
+    )
+
+
+def _dedupe(tree: RouteTree) -> RouteTree:
+    """Merge coincident tap points so the edge count matches a tree."""
+    seen = {}
+    remap = {}
+    points: List[Point] = []
+    for idx, p in enumerate(tree.points):
+        key = (p.x, p.y)
+        if idx < tree.num_pins:
+            remap[idx] = len(points)
+            points.append(p)
+            # Pins are never merged away, but later taps may merge onto them.
+            seen.setdefault(key, remap[idx])
+        else:
+            if key in seen:
+                remap[idx] = seen[key]
+            else:
+                remap[idx] = len(points)
+                seen[key] = remap[idx]
+                points.append(p)
+    edges = set()
+    for a, b in tree.edges:
+        ra, rb = remap[a], remap[b]
+        if ra != rb:
+            edges.add((min(ra, rb), max(ra, rb)))
+    return RouteTree(
+        points=tuple(points), edges=tuple(sorted(edges)), num_pins=tree.num_pins
+    )
+
+
+def single_trunk_tree(points: Sequence[Point]) -> RouteTree:
+    """Single-trunk Steiner tree over ``points`` (best of H/V orientation)."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("cannot route an empty pin set")
+    if len(pts) == 1:
+        return RouteTree(points=tuple(pts), edges=(), num_pins=1)
+    horizontal = _dedupe(_trunk_tree(pts, horizontal=True))
+    vertical = _dedupe(_trunk_tree(pts, horizontal=False))
+    return horizontal if horizontal.length <= vertical.length else vertical

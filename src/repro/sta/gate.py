@@ -1,0 +1,44 @@
+"""Gate (inverter-pair) delay evaluation against Liberty-style tables.
+
+A clock-tree "buffer" in this library is an inverter pair: two identical
+inverters in series, the first loaded only by the second's input pin (they
+are co-located), the second loaded by the net.  The pair is non-inverting,
+so the whole tree runs on a single clock phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.cells import InverterCell
+
+
+@dataclass(frozen=True)
+class PairTiming:
+    """Delay decomposition of one inverter pair evaluation."""
+
+    first_delay_ps: float
+    second_delay_ps: float
+    output_slew_ps: float
+
+    @property
+    def delay_ps(self) -> float:
+        """Total pair propagation delay."""
+        return self.first_delay_ps + self.second_delay_ps
+
+
+def inverter_pair_timing(
+    cell: InverterCell, input_slew_ps: float, net_load_ff: float
+) -> PairTiming:
+    """Evaluate an inverter pair of ``cell``'s size driving ``net_load_ff``.
+
+    Both inverters use the same NLDM tables; the internal node sees only
+    the second inverter's pin capacitance.
+    """
+    if input_slew_ps < 0 or net_load_ff < 0:
+        raise ValueError("negative slew or load")
+    d1 = cell.delay(input_slew_ps, cell.input_cap_ff)
+    s1 = cell.output_slew(input_slew_ps, cell.input_cap_ff)
+    d2 = cell.delay(s1, net_load_ff)
+    s2 = cell.output_slew(s1, net_load_ff)
+    return PairTiming(first_delay_ps=d1, second_delay_ps=d2, output_slew_ps=s2)

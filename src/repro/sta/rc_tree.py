@@ -1,0 +1,10 @@
+"""Compatibility re-export: the RC tree lives in :mod:`repro.rc`.
+
+It sits at the package top level because both the routing and STA
+subpackages depend on it; importing it must not trigger either package's
+``__init__`` (which would create an import cycle).
+"""
+
+from repro.rc import RCNode, RCTree
+
+__all__ = ["RCNode", "RCTree"]

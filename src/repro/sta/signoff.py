@@ -1,0 +1,63 @@
+"""Signoff gate-delay correction: the golden timer's extra physics.
+
+Production signoff timers (the paper's PrimeTime) compute gate delays
+with current-source models, waveform propagation, and annotated
+extraction; lightweight predictors interpolate NLDM tables.  Han et al.
+(DATE 2014) measured exactly this golden-vs-interpolated gap and the
+paper's delta-latency models exist to absorb it.
+
+We model the gap as a smooth, deterministic multiplier on inverter-pair
+delay as a function of drive strength, input slew, and output load:
+
+    factor = 1 + a * tanh(load / L0) * (s_ref / size)^0.5
+               - b * tanh(slew / S0) * (size / s_max)
+
+Heavily loaded small drivers are slower than the table interpolation
+says; large drivers with slow inputs are slightly faster.  Both axes
+are visible to the ML feature set (size, slew, load proxies), so the
+correction is *learnable* — while the analytical estimators, which by
+definition stop at table interpolation, cannot see it.
+
+The stage-delay LUTs are characterized through the golden flow (as the
+paper's are), so this correction is inside them; only the local-move
+analytical estimates lack it.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Load-dependent strength of the correction.
+LOAD_GAIN = 0.06
+
+#: Load scale (fF) at which the load term saturates.
+LOAD_SCALE_FF = 60.0
+
+#: Slew-dependent strength of the correction.
+SLEW_GAIN = 0.04
+
+#: Slew scale (ps) at which the slew term saturates.
+SLEW_SCALE_PS = 80.0
+
+#: Reference drive size for the load term's size dependence.
+REFERENCE_SIZE = 8.0
+
+#: Largest drive size (normalizes the slew term).
+MAX_SIZE = 32.0
+
+
+def signoff_gate_factor(size: int, input_slew_ps: float, load_ff: float) -> float:
+    """Golden-vs-NLDM-interpolation delay multiplier for an inverter pair."""
+    if size < 1:
+        raise ValueError("invalid drive size")
+    if input_slew_ps < 0 or load_ff < 0:
+        raise ValueError("negative slew or load")
+    load_term = (
+        LOAD_GAIN
+        * math.tanh(load_ff / LOAD_SCALE_FF)
+        * math.sqrt(REFERENCE_SIZE / size)
+    )
+    slew_term = (
+        SLEW_GAIN * math.tanh(input_slew_ps / SLEW_SCALE_PS) * (size / MAX_SIZE)
+    )
+    return 1.0 + load_term - slew_term

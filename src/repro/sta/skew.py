@@ -1,0 +1,162 @@
+"""Skew and skew-variation arithmetic (paper Equations (1)-(3)).
+
+Given per-corner sink latencies, this module computes:
+
+* per-pair, per-corner skew ``skew_{i,i'}^{ck}`` (launch minus capture
+  latency),
+* normalization factors ``alpha_k`` that bring each corner's skews to the
+  nominal corner's scale,
+* the normalized skew variation ``v_{i,i'}^{ck,ck'} =
+  |alpha_k skew^{ck} - alpha_k' skew^{ck'}|`` per corner pair (Eq. (1)),
+* the per-pair worst variation ``V_{i,i'}`` across corner pairs (Eq. (2)),
+* and the optimization objective: the sum of ``V_{i,i'}`` over all
+  sequentially adjacent sink pairs (Eq. (3) / Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.tech.corners import Corner, CornerSet
+
+#: A launch/capture sink pair, by sink node id.
+SinkPair = Tuple[int, int]
+
+
+def pair_skew(
+    latency: Mapping[int, float], pair: SinkPair
+) -> float:
+    """Skew of ``pair`` = launch latency minus capture latency (ps)."""
+    launch, capture = pair
+    return latency[launch] - latency[capture]
+
+
+def normalization_factors(
+    latencies: Mapping[str, Mapping[int, float]],
+    pairs: Sequence[SinkPair],
+    corners: CornerSet,
+) -> Dict[str, float]:
+    """Per-corner normalization factors ``alpha_k`` (Table 1).
+
+    The paper defines ``alpha_k`` as the average skew ratio between the
+    nominal corner and ``ck`` over all sink pairs.  A per-pair mean of
+    ratios is numerically fragile when individual skews approach zero, so
+    we use the ratio of summed absolute skews, which equals the per-pair
+    mean under an |skew^{c0}|-weighted average and is stable:
+
+        alpha_k = sum_pairs |skew^{c0}| / sum_pairs |skew^{ck}|
+
+    ``alpha_0`` is exactly 1.  Corners at which the tree shows zero total
+    skew fall back to 1.0.
+    """
+    nominal = corners.nominal.name
+    base = sum(abs(pair_skew(latencies[nominal], p)) for p in pairs)
+    factors: Dict[str, float] = {}
+    for corner in corners:
+        total = sum(abs(pair_skew(latencies[corner.name], p)) for p in pairs)
+        if corner.name == nominal or total <= 0.0 or base <= 0.0:
+            factors[corner.name] = 1.0
+        else:
+            factors[corner.name] = base / total
+    return factors
+
+
+def normalized_skew_variation(
+    latencies: Mapping[str, Mapping[int, float]],
+    pair: SinkPair,
+    corner_a: Corner,
+    corner_b: Corner,
+    alphas: Mapping[str, float],
+) -> float:
+    """Eq. (1): normalized skew variation of one pair across one corner pair."""
+    skew_a = pair_skew(latencies[corner_a.name], pair)
+    skew_b = pair_skew(latencies[corner_b.name], pair)
+    return abs(alphas[corner_a.name] * skew_a - alphas[corner_b.name] * skew_b)
+
+
+def worst_pair_variation(
+    latencies: Mapping[str, Mapping[int, float]],
+    pair: SinkPair,
+    corners: CornerSet,
+    alphas: Mapping[str, float],
+) -> float:
+    """Eq. (2): max normalized skew variation of ``pair`` over corner pairs."""
+    return max(
+        normalized_skew_variation(latencies, pair, ca, cb, alphas)
+        for ca, cb in corners.pairs()
+    )
+
+
+def sum_of_skew_variations(
+    latencies: Mapping[str, Mapping[int, float]],
+    pairs: Sequence[SinkPair],
+    corners: CornerSet,
+    alphas: Mapping[str, float],
+) -> float:
+    """Eq. (3) objective: sum over pairs of the worst normalized variation."""
+    return sum(
+        worst_pair_variation(latencies, pair, corners, alphas) for pair in pairs
+    )
+
+
+@dataclass(frozen=True)
+class SkewAnalysis:
+    """A full skew-variation snapshot of one timing state.
+
+    Attributes
+    ----------
+    alphas:
+        Normalization factor per corner name.
+    pair_variation:
+        ``V_{i,i'}`` per sink pair (Eq. (2)).
+    total_variation:
+        Sum of ``pair_variation`` values — the paper's objective (ps).
+    local_skew:
+        Per-corner local skew: max |skew| over the analyzed pairs (ps).
+        (Local, not global: only launch/capture pairs with a datapath.)
+    """
+
+    alphas: Dict[str, float]
+    pair_variation: Dict[SinkPair, float]
+    total_variation: float
+    local_skew: Dict[str, float]
+
+    @staticmethod
+    def from_latencies(
+        latencies: Mapping[str, Mapping[int, float]],
+        pairs: Sequence[SinkPair],
+        corners: CornerSet,
+        alphas: Mapping[str, float] = None,
+    ) -> "SkewAnalysis":
+        """Analyze a latency map ``corner name -> sink id -> latency (ps)``.
+
+        When ``alphas`` is omitted they are derived from these latencies;
+        pass the *original tree's* factors when comparing an optimized tree
+        against its baseline, so both are measured on the same scale.
+        """
+        if alphas is None:
+            alphas = normalization_factors(latencies, pairs, corners)
+        alphas = dict(alphas)
+        pair_var: Dict[SinkPair, float] = {}
+        for pair in pairs:
+            pair_var[pair] = worst_pair_variation(latencies, pair, corners, alphas)
+        local: Dict[str, float] = {}
+        for corner in corners:
+            per_corner = latencies[corner.name]
+            local[corner.name] = max(
+                (abs(pair_skew(per_corner, p)) for p in pairs), default=0.0
+            )
+        return SkewAnalysis(
+            alphas=alphas,
+            pair_variation=pair_var,
+            total_variation=sum(pair_var.values()),
+            local_skew=local,
+        )
+
+    def degraded_local_skew(self, other: "SkewAnalysis", tol_ps: float = 0.5) -> bool:
+        """True if this state's local skew is worse than ``other`` anywhere."""
+        return any(
+            self.local_skew[name] > other.local_skew.get(name, float("inf")) + tol_ps
+            for name in self.local_skew
+        )

@@ -1,0 +1,9 @@
+"""Technology substrate: corners, cells, wire parasitics, stage-delay LUTs.
+
+This package replaces the foundry 28nm PDK / Liberty libraries used in the
+paper with a synthetic but physically-flavoured technology model.  The model
+is calibrated so that cross-corner delay ratios exhibit the same qualitative
+spread as the paper's Figure 2 (slow-voltage corners 1.5-2.2x slower than
+nominal for gate-dominated stages, fast corners 0.35-0.65x, with wire-
+dominated stages pulled toward the BEOL-only ratio).
+"""

@@ -1,0 +1,214 @@
+"""Inverter cells with NLDM-style (input slew x output load) lookup tables.
+
+Every timing quantity the STA engine consumes — cell delay and output slew —
+is read from a two-dimensional table indexed by input slew (ps) and output
+load capacitance (fF), exactly like a Liberty NLDM group.  Tables are
+*generated* from a smooth analytical template at characterization time, but
+the STA only ever sees the sampled grid plus bilinear interpolation, so the
+table-vs-reality gap the paper's ML models must absorb is genuine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NLDMTable:
+    """A Liberty-style 2-D lookup table with bilinear interpolation.
+
+    ``slew_axis`` (ps) and ``load_axis`` (fF) must be strictly increasing.
+    ``values`` has shape ``(len(slew_axis), len(load_axis))``.  Queries
+    outside the grid are clamped to the boundary (conservative, like most
+    production timers when extrapolation is disabled).
+    """
+
+    slew_axis: Tuple[float, ...]
+    load_axis: Tuple[float, ...]
+    values: Tuple[Tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        slews = np.asarray(self.slew_axis, dtype=float)
+        loads = np.asarray(self.load_axis, dtype=float)
+        vals = np.asarray(self.values, dtype=float)
+        if slews.ndim != 1 or loads.ndim != 1:
+            raise ValueError("axes must be one-dimensional")
+        if np.any(np.diff(slews) <= 0) or np.any(np.diff(loads) <= 0):
+            raise ValueError("table axes must be strictly increasing")
+        if vals.shape != (slews.size, loads.size):
+            raise ValueError(
+                f"values shape {vals.shape} does not match axes "
+                f"({slews.size}, {loads.size})"
+            )
+        # Cache the numpy views: lookup() is the hottest call in the whole
+        # library (STA + LUT characterization), and re-converting the
+        # frozen tuples per call costs ~20x the interpolation itself.
+        object.__setattr__(self, "_slews", slews)
+        object.__setattr__(self, "_loads", loads)
+        object.__setattr__(self, "_vals", vals)
+
+    def lookup(self, slew_ps: float, load_ff: float) -> float:
+        """Bilinearly interpolated table value at (slew, load), clamped."""
+        slews = self._slews
+        loads = self._loads
+        vals = self._vals
+
+        s = float(np.clip(slew_ps, slews[0], slews[-1]))
+        c = float(np.clip(load_ff, loads[0], loads[-1]))
+
+        si = int(np.searchsorted(slews, s, side="right") - 1)
+        ci = int(np.searchsorted(loads, c, side="right") - 1)
+        si = min(max(si, 0), slews.size - 2) if slews.size > 1 else 0
+        ci = min(max(ci, 0), loads.size - 2) if loads.size > 1 else 0
+
+        if slews.size == 1 and loads.size == 1:
+            return float(vals[0, 0])
+        if slews.size == 1:
+            t = (c - loads[ci]) / (loads[ci + 1] - loads[ci])
+            return float(vals[0, ci] * (1 - t) + vals[0, ci + 1] * t)
+        if loads.size == 1:
+            u = (s - slews[si]) / (slews[si + 1] - slews[si])
+            return float(vals[si, 0] * (1 - u) + vals[si + 1, 0] * u)
+
+        u = (s - slews[si]) / (slews[si + 1] - slews[si])
+        t = (c - loads[ci]) / (loads[ci + 1] - loads[ci])
+        v00 = vals[si, ci]
+        v01 = vals[si, ci + 1]
+        v10 = vals[si + 1, ci]
+        v11 = vals[si + 1, ci + 1]
+        return float(
+            v00 * (1 - u) * (1 - t)
+            + v01 * (1 - u) * t
+            + v10 * u * (1 - t)
+            + v11 * u * t
+        )
+
+
+#: Characterization grid (ps) for input slew.
+DEFAULT_SLEW_AXIS: Tuple[float, ...] = (5.0, 10.0, 20.0, 40.0, 80.0, 160.0)
+
+#: Characterization grid (fF) for output load.
+DEFAULT_LOAD_AXIS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _delay_template(
+    slew: np.ndarray,
+    load: np.ndarray,
+    drive_res_kohm: float,
+    intrinsic_ps: float,
+) -> np.ndarray:
+    """Smooth analytical delay surface used to populate NLDM grids.
+
+    delay = intrinsic + R_drive * C_load + slew-pushout term, with a mild
+    square-root nonlinearity on the slew term so the surface is not exactly
+    planar (bilinear interpolation then has real, small error).
+    """
+    rc = drive_res_kohm * load
+    pushout = 0.18 * slew + 0.45 * np.sqrt(slew * np.maximum(rc, 1e-6))
+    return intrinsic_ps + rc + pushout
+
+
+def _slew_template(
+    slew: np.ndarray,
+    load: np.ndarray,
+    drive_res_kohm: float,
+    intrinsic_ps: float,
+) -> np.ndarray:
+    """Smooth analytical output-slew surface (ps)."""
+    rc = drive_res_kohm * load
+    return np.maximum(2.0, 0.9 * intrinsic_ps + 1.9 * rc + 0.06 * slew)
+
+
+@dataclass(frozen=True)
+class InverterCell:
+    """One inverter drive strength of the clock library, at one corner.
+
+    Attributes
+    ----------
+    name:
+        Cell name, e.g. ``"INVX8"``.
+    size:
+        Drive strength multiple (2, 4, 8, 16, 32).
+    input_cap_ff:
+        Clock-pin input capacitance.
+    area_um2:
+        Placement footprint.
+    delay_table / slew_table:
+        NLDM groups for propagation delay and output transition.
+    leakage_mw:
+        Leakage power contribution (mW), used by the power model.
+    internal_energy_fj:
+        Internal switching energy per output toggle (fJ).
+    """
+
+    name: str
+    size: int
+    input_cap_ff: float
+    area_um2: float
+    delay_table: NLDMTable
+    slew_table: NLDMTable
+    leakage_mw: float
+    internal_energy_fj: float
+
+    def delay(self, slew_ps: float, load_ff: float) -> float:
+        """Propagation delay (ps) at the given input slew and output load."""
+        return self.delay_table.lookup(slew_ps, load_ff)
+
+    def output_slew(self, slew_ps: float, load_ff: float) -> float:
+        """Output transition (ps) at the given input slew and output load."""
+        return self.slew_table.lookup(slew_ps, load_ff)
+
+    def drive_resistance_kohm(self) -> float:
+        """Effective drive resistance estimated from the delay table slope.
+
+        Used by analytical (Elmore / D2M) predictors; the golden timer never
+        calls this — it reads the table directly.
+        """
+        loads = self.delay_table.load_axis
+        mid_slew = self.delay_table.slew_axis[len(self.delay_table.slew_axis) // 2]
+        d_lo = self.delay(mid_slew, loads[0])
+        d_hi = self.delay(mid_slew, loads[-1])
+        return (d_hi - d_lo) / (loads[-1] - loads[0])
+
+
+def characterize_inverter(
+    size: int,
+    gate_factor: float,
+    unit_drive_res_kohm: float = 3.2,
+    unit_input_cap_ff: float = 0.52,
+    unit_area_um2: float = 0.85,
+    intrinsic_ps: float = 9.0,
+    slew_axis: Sequence[float] = DEFAULT_SLEW_AXIS,
+    load_axis: Sequence[float] = DEFAULT_LOAD_AXIS,
+) -> InverterCell:
+    """Generate an :class:`InverterCell` for a drive ``size`` at one corner.
+
+    ``gate_factor`` is the corner's gate-delay multiplier from
+    :class:`repro.tech.derating.DerateModel`; it scales both the delay and
+    output-slew surfaces (input capacitance and area are corner-invariant).
+    """
+    if size < 1:
+        raise ValueError("size must be a positive drive multiple")
+    slews = np.asarray(slew_axis, dtype=float)
+    loads = np.asarray(load_axis, dtype=float)
+    drive_res = unit_drive_res_kohm / size
+    s_grid, c_grid = np.meshgrid(slews, loads, indexing="ij")
+    delay_vals = gate_factor * _delay_template(s_grid, c_grid, drive_res, intrinsic_ps)
+    slew_vals = gate_factor * _slew_template(s_grid, c_grid, drive_res, intrinsic_ps)
+    return InverterCell(
+        name=f"INVX{size}",
+        size=size,
+        input_cap_ff=unit_input_cap_ff * size,
+        area_um2=unit_area_um2 * size,
+        delay_table=NLDMTable(
+            tuple(slews), tuple(loads), tuple(map(tuple, delay_vals))
+        ),
+        slew_table=NLDMTable(
+            tuple(slews), tuple(loads), tuple(map(tuple, slew_vals))
+        ),
+        leakage_mw=2.0e-5 * size,
+        internal_energy_fj=0.55 * size,
+    )

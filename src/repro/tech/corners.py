@@ -1,0 +1,129 @@
+"""PVT corner definitions (paper Table 3).
+
+A *corner* bundles a process letter (ss / tt / ff), a supply voltage, a
+junction temperature and a back-end-of-line (BEOL) extraction condition
+(Cmax / Cmin / Cnom).  The paper's experiments use four corners:
+
+====== ======= ======= ============ ======
+corner process voltage temperature  BEOL
+====== ======= ======= ============ ======
+c0     ss      0.90V   -25C         Cmax
+c1     ss      0.75V   -25C         Cmax
+c2     ff      1.10V   125C         Cmin
+c3     ff      1.32V   125C         Cmin
+====== ======= ======= ============ ======
+
+``c0`` is the nominal corner; all normalization factors are relative to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+PROCESS_NAMES = ("ss", "tt", "ff")
+BEOL_NAMES = ("Cmax", "Cnom", "Cmin")
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One PVT + BEOL signoff corner."""
+
+    name: str
+    process: str
+    voltage: float
+    temperature_c: float
+    beol: str
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESS_NAMES:
+            raise ValueError(f"unknown process {self.process!r}; expected {PROCESS_NAMES}")
+        if self.beol not in BEOL_NAMES:
+            raise ValueError(f"unknown BEOL {self.beol!r}; expected {BEOL_NAMES}")
+        if self.voltage <= 0.0:
+            raise ValueError(f"non-physical voltage {self.voltage}")
+
+    def describe(self) -> str:
+        """One-line description matching the paper's Table 3 row format."""
+        return (
+            f"{self.name}: ({self.process}, {self.voltage:.2f}V, "
+            f"{self.temperature_c:g}C, {self.beol})"
+        )
+
+
+@dataclass(frozen=True)
+class CornerSet:
+    """An ordered collection of corners; index 0 is the nominal corner ``c0``."""
+
+    corners: Tuple[Corner, ...]
+
+    def __post_init__(self) -> None:
+        if not self.corners:
+            raise ValueError("a corner set needs at least one corner")
+        names = [c.name for c in self.corners]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate corner names in {names}")
+
+    @property
+    def nominal(self) -> Corner:
+        """The nominal corner (first in the set)."""
+        return self.corners[0]
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def __iter__(self) -> Iterator[Corner]:
+        return iter(self.corners)
+
+    def __getitem__(self, index: int) -> Corner:
+        return self.corners[index]
+
+    def by_name(self, name: str) -> Corner:
+        """Look up a corner by its name."""
+        for corner in self.corners:
+            if corner.name == name:
+                return corner
+        raise KeyError(f"no corner named {name!r}")
+
+    def index_of(self, corner: Corner) -> int:
+        """Position of ``corner`` in the set."""
+        return self.corners.index(corner)
+
+    def pairs(self) -> List[Tuple[Corner, Corner]]:
+        """All unordered corner pairs (C(K+1, 2) of them), nominal-first order."""
+        out: List[Tuple[Corner, Corner]] = []
+        for i in range(len(self.corners)):
+            for j in range(i + 1, len(self.corners)):
+                out.append((self.corners[i], self.corners[j]))
+        return out
+
+    def non_nominal(self) -> Tuple[Corner, ...]:
+        """Corners other than the nominal one."""
+        return self.corners[1:]
+
+    def subset(self, names: Sequence[str]) -> "CornerSet":
+        """A new corner set restricted to ``names`` (order preserved)."""
+        return CornerSet(tuple(self.by_name(n) for n in names))
+
+
+#: The four corners of the paper's Table 3.
+_C0 = Corner("c0", "ss", 0.90, -25.0, "Cmax")
+_C1 = Corner("c1", "ss", 0.75, -25.0, "Cmax")
+_C2 = Corner("c2", "ff", 1.10, 125.0, "Cmin")
+_C3 = Corner("c3", "ff", 1.32, 125.0, "Cmin")
+
+TABLE3_CORNERS: Dict[str, Corner] = {c.name: c for c in (_C0, _C1, _C2, _C3)}
+
+
+def default_corners(names: Sequence[str] = ("c0", "c1", "c2", "c3")) -> CornerSet:
+    """Return a :class:`CornerSet` drawn from the paper's Table 3 corners.
+
+    The CLS1 testcases use (c0, c1, c3); CLS2 uses (c0, c1, c2).  ``c0`` must
+    be first because it is the nominal corner.
+    """
+    if not names or names[0] != "c0":
+        raise ValueError("the nominal corner c0 must come first")
+    try:
+        return CornerSet(tuple(TABLE3_CORNERS[n] for n in names))
+    except KeyError as exc:
+        raise KeyError(f"unknown corner {exc.args[0]!r}; known: {sorted(TABLE3_CORNERS)}")

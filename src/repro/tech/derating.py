@@ -1,0 +1,94 @@
+"""Per-corner gate and wire derating.
+
+Gate delay scaling across corners follows an alpha-power-law MOSFET model:
+
+    delay  ~  K_process * K_temp(T) * V / (V - Vth(process, T))^alpha
+
+* ``Vth`` rises for slow process and falls with temperature.
+* ``K_temp`` captures mobility degradation at high temperature.
+* ``K_process`` captures global process speed (ss slow, ff fast).
+
+Wire parasitics scale only with the BEOL condition (Cmax / Cmin), *not* with
+voltage — this asymmetry is what makes cross-corner *stage* delay ratios
+depend on how wire-dominated a stage is, reproducing the spread of the
+paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tech.corners import Corner
+
+#: Saturation-velocity exponent of the alpha-power law.
+ALPHA = 1.8
+
+#: Nominal threshold voltage per process letter at 25C (V).
+VTH_AT_25C: Dict[str, float] = {"ss": 0.42, "tt": 0.36, "ff": 0.30}
+
+#: Vth temperature coefficient (V per degree C); Vth drops as T rises.
+VTH_TEMP_SLOPE = -3.0e-4
+
+#: Global process speed multiplier (drive-strength effect beyond Vth shift).
+PROCESS_SPEED: Dict[str, float] = {"ss": 1.18, "tt": 1.00, "ff": 0.86}
+
+#: Mobility-degradation delay slope per degree C above 25C.
+MOBILITY_TEMP_SLOPE = 1.6e-3
+
+#: Wire capacitance multiplier per BEOL condition.
+BEOL_CAP_SCALE: Dict[str, float] = {"Cmax": 1.12, "Cnom": 1.00, "Cmin": 0.88}
+
+#: Wire resistance multiplier per BEOL condition.
+BEOL_RES_SCALE: Dict[str, float] = {"Cmax": 1.05, "Cnom": 1.00, "Cmin": 0.95}
+
+
+def threshold_voltage(process: str, temperature_c: float) -> float:
+    """Threshold voltage (V) for ``process`` at ``temperature_c``."""
+    if process not in VTH_AT_25C:
+        raise ValueError(f"unknown process {process!r}")
+    return VTH_AT_25C[process] + VTH_TEMP_SLOPE * (temperature_c - 25.0)
+
+
+def alpha_power_delay_factor(voltage: float, vth: float, alpha: float = ALPHA) -> float:
+    """Un-normalized alpha-power-law delay factor ``V / (V - Vth)^alpha``.
+
+    Raises ``ValueError`` when the supply does not exceed Vth by a usable
+    overdrive margin (the cell would not switch in a clock-tree context).
+    """
+    overdrive = voltage - vth
+    if overdrive <= 0.05:
+        raise ValueError(
+            f"supply {voltage:.3f}V leaves insufficient overdrive above Vth {vth:.3f}V"
+        )
+    return voltage / overdrive**alpha
+
+
+@dataclass(frozen=True)
+class DerateModel:
+    """Maps a :class:`Corner` to gate-delay and wire-RC scale factors.
+
+    Factors are expressed relative to a reference corner supplied at
+    construction (the library's nominal corner, c0), i.e.
+    ``gate_factor(reference) == 1.0``.
+    """
+
+    reference: Corner
+
+    def _raw_gate_factor(self, corner: Corner) -> float:
+        vth = threshold_voltage(corner.process, corner.temperature_c)
+        speed = PROCESS_SPEED[corner.process]
+        mobility = 1.0 + MOBILITY_TEMP_SLOPE * (corner.temperature_c - 25.0)
+        return speed * mobility * alpha_power_delay_factor(corner.voltage, vth)
+
+    def gate_factor(self, corner: Corner) -> float:
+        """Gate-delay multiplier of ``corner`` relative to the reference corner."""
+        return self._raw_gate_factor(corner) / self._raw_gate_factor(self.reference)
+
+    def wire_cap_factor(self, corner: Corner) -> float:
+        """Wire-capacitance multiplier relative to the reference corner's BEOL."""
+        return BEOL_CAP_SCALE[corner.beol] / BEOL_CAP_SCALE[self.reference.beol]
+
+    def wire_res_factor(self, corner: Corner) -> float:
+        """Wire-resistance multiplier relative to the reference corner's BEOL."""
+        return BEOL_RES_SCALE[corner.beol] / BEOL_RES_SCALE[self.reference.beol]

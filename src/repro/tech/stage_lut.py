@@ -1,0 +1,258 @@
+"""Stage-delay lookup tables for inverter pairs (paper Figure 3).
+
+The paper's global ECO realizes LP-requested arc delays by re-inserting
+*inverter pairs* along each arc.  To make that search fast it characterizes,
+once per technology, two lookup tables per corner:
+
+* ``LUTuniform`` — the steady-state (slew-converged) stage delay of an
+  infinite chain of identical inverter pairs, per (gate size, routed
+  wirelength between consecutive inverters).  Applied to the middle pairs
+  of an arc.
+* ``LUTdetail`` — the stage delay as a function of *input slew* and *fanout
+  load* per (gate size, wirelength).  Applied to the first and last pairs
+  of an arc, whose boundary conditions differ from the steady state.
+
+Wirelengths sweep 10um..200um in 5um steps, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sta.slew import wire_degraded_slew
+from repro.tech.cells import NLDMTable
+from repro.tech.corners import Corner
+from repro.tech.library import Library
+
+#: Wirelength sweep (um) between consecutive inverters: 10..200 step 5.
+DEFAULT_WL_AXIS: Tuple[float, ...] = tuple(float(w) for w in range(10, 201, 5))
+
+#: Input-slew axis (ps) for LUTdetail.
+DETAIL_SLEW_AXIS: Tuple[float, ...] = (5.0, 15.0, 35.0, 75.0, 150.0)
+
+#: Fanout-load axis (fF) for LUTdetail.
+DETAIL_LOAD_AXIS: Tuple[float, ...] = (1.0, 4.0, 12.0, 32.0, 80.0)
+
+#: Convergence tolerance (ps) for the steady-state slew fixed point.
+_SLEW_TOL_PS = 0.01
+
+#: Iteration cap for the slew fixed point.
+_MAX_FIXED_POINT_ITERS = 60
+
+
+#: Memo for hop_wire_delay: the ECO candidate search evaluates the same
+#: (corner, length, load) combinations thousands of times, and each cold
+#: evaluation builds a discretized RC tree.  Keys quantize to 0.25 um and
+#: 0.05 fF — far below any delay-relevant resolution.
+_HOP_CACHE: Dict[Tuple[int, str, float, float], Tuple[float, float]] = {}
+
+
+def hop_wire_delay(
+    library: Library, corner: Corner, wirelength_um: float, load_ff: float
+) -> Tuple[float, float]:
+    """Distributed wire delay and Elmore of one hop with a far pin load.
+
+    Returns ``(delay_ps, elmore_ps)``: the delay uses the same segmented
+    D2M evaluation as the golden timer (so LUT characterization carries no
+    lumped-vs-distributed bias) and includes the chain-level routed-length
+    overhead (the LUTs are characterized through the router, exactly as
+    the paper's technology characterization is).  The Elmore value feeds
+    PERI slew degradation at the far pin.
+    """
+    from repro.route.congestion import chain_length_factor
+    from repro.route.rc_net import edge_rc_tree
+    from repro.sta.d2m import d2m_delays
+    from repro.sta.elmore import elmore_delays
+    from repro.geometry import Point
+
+    if wirelength_um <= 0.0:
+        return 0.0, 0.0
+    key = (
+        id(library),
+        corner.name,
+        round(wirelength_um * 4.0) / 4.0,
+        round(load_ff * 20.0) / 20.0,
+    )
+    cached = _HOP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    length = key[2] * chain_length_factor()
+    wire = library.wire(corner)
+    rc = edge_rc_tree([Point(0.0, 0.0), Point(length, 0.0)], wire, key[3])
+    delay = d2m_delays(rc)["sink"]
+    elmore = elmore_delays(rc)["sink"]
+    if len(_HOP_CACHE) > 200000:
+        _HOP_CACHE.clear()
+    _HOP_CACHE[key] = (delay, elmore)
+    return delay, elmore
+
+
+def stage_delay(
+    library: Library,
+    corner: Corner,
+    size: int,
+    wirelength_um: float,
+    input_slew_ps: float,
+    fanout_load_ff: float,
+) -> Tuple[float, float]:
+    """Delay and output slew (ps) of one inverter-pair stage.
+
+    A stage is one co-located inverter pair followed by its fanout wire of
+    ``wirelength_um`` ending at the next stage's input pin, which presents
+    ``fanout_load_ff``.  Stage delay = both gate delays of the pair plus
+    the fanout-net wire delay — the same decomposition the golden timer
+    applies to a rebuilt arc, so LUT estimates and golden measurements
+    disagree only through genuinely unmodeled effects (distributed-RC
+    vs lumped wire, legalization displacement, slew iteration).
+    """
+    from repro.route.congestion import chain_length_factor
+    from repro.sta.signoff import signoff_gate_factor
+
+    cell = library.cell(size, corner)
+    routed_wl = wirelength_um * chain_length_factor()
+    net_load = library.wire(corner).segment_cap(routed_wl) + fanout_load_ff
+
+    internal_delay = cell.delay(input_slew_ps, cell.input_cap_ff)
+    internal_slew = cell.output_slew(input_slew_ps, cell.input_cap_ff)
+    drive_delay = cell.delay(internal_slew, net_load)
+    drive_slew = cell.output_slew(internal_slew, net_load)
+    # LUTs are characterized through the signoff flow, so they carry the
+    # golden engine's gate-delay correction (repro.sta.signoff).
+    pair_delay = (internal_delay + drive_delay) * signoff_gate_factor(
+        size, input_slew_ps, net_load
+    )
+
+    wire_delay, wire_elmore = hop_wire_delay(
+        library, corner, wirelength_um, fanout_load_ff
+    )
+    out_slew = wire_degraded_slew(drive_slew, wire_elmore)
+    return pair_delay + wire_delay, out_slew
+
+
+def steady_state_stage(
+    library: Library, corner: Corner, size: int, wirelength_um: float
+) -> Tuple[float, float]:
+    """Slew-converged (steady-state) stage delay and slew for a uniform chain.
+
+    Iterates the stage's slew map to its fixed point, i.e. the operating
+    point of an inverter pair deep inside a long uniform chain, where the
+    fanout load is the next pair's own input capacitance.
+    """
+    fanout = library.cell(size, corner).input_cap_ff
+    slew = library.source_slew_ps
+    delay = 0.0
+    for _ in range(_MAX_FIXED_POINT_ITERS):
+        delay, new_slew = stage_delay(
+            library, corner, size, wirelength_um, slew, fanout
+        )
+        if abs(new_slew - slew) < _SLEW_TOL_PS:
+            return delay, new_slew
+        slew = new_slew
+    return delay, slew
+
+
+@dataclass(frozen=True)
+class StageDelayLUT:
+    """Characterized stage-delay tables for one corner.
+
+    ``uniform`` maps (size, wirelength) to the steady-state stage delay;
+    ``uniform_slew`` to the steady-state slew.  ``detail`` maps (size,
+    wirelength) to an :class:`NLDMTable` of stage delay over (input slew,
+    fanout load); ``detail_slew`` to the matching output-slew table.
+    """
+
+    corner: Corner
+    sizes: Tuple[int, ...]
+    wl_axis: Tuple[float, ...]
+    uniform: Dict[Tuple[int, float], float]
+    uniform_slew: Dict[Tuple[int, float], float]
+    detail: Dict[Tuple[int, float], NLDMTable]
+    detail_slew: Dict[Tuple[int, float], NLDMTable]
+
+    def uniform_delay(self, size: int, wirelength_um: float) -> float:
+        """Steady-state stage delay at the nearest characterized wirelength."""
+        return self.uniform[(size, self.snap_wl(wirelength_um))]
+
+    def uniform_out_slew(self, size: int, wirelength_um: float) -> float:
+        """Steady-state stage output slew at the nearest characterized WL."""
+        return self.uniform_slew[(size, self.snap_wl(wirelength_um))]
+
+    def detail_delay(
+        self, size: int, wirelength_um: float, slew_ps: float, load_ff: float
+    ) -> float:
+        """Boundary-pair stage delay from LUTdetail (interpolated)."""
+        return self.detail[(size, self.snap_wl(wirelength_um))].lookup(
+            slew_ps, load_ff
+        )
+
+    def detail_out_slew(
+        self, size: int, wirelength_um: float, slew_ps: float, load_ff: float
+    ) -> float:
+        """Boundary-pair stage output slew from LUTdetail (interpolated)."""
+        return self.detail_slew[(size, self.snap_wl(wirelength_um))].lookup(
+            slew_ps, load_ff
+        )
+
+    def snap_wl(self, wirelength_um: float) -> float:
+        """Clamp and snap a wirelength to the characterized grid."""
+        axis = np.asarray(self.wl_axis)
+        idx = int(np.argmin(np.abs(axis - wirelength_um)))
+        return float(axis[idx])
+
+
+def characterize_stage_luts(
+    library: Library,
+    sizes: Sequence[int] = (),
+    wl_axis: Sequence[float] = DEFAULT_WL_AXIS,
+    detail_slew_axis: Sequence[float] = DETAIL_SLEW_AXIS,
+    detail_load_axis: Sequence[float] = DETAIL_LOAD_AXIS,
+) -> Dict[str, StageDelayLUT]:
+    """Characterize LUTuniform and LUTdetail for every corner of ``library``.
+
+    This is the once-per-technology step of the paper's Section 4.1.  The
+    result maps corner name to that corner's :class:`StageDelayLUT`.
+    """
+    use_sizes = tuple(sizes) if sizes else library.sizes
+    luts: Dict[str, StageDelayLUT] = {}
+    for corner in library.corners:
+        uniform: Dict[Tuple[int, float], float] = {}
+        uniform_slew: Dict[Tuple[int, float], float] = {}
+        detail: Dict[Tuple[int, float], NLDMTable] = {}
+        detail_slew: Dict[Tuple[int, float], NLDMTable] = {}
+        for size in use_sizes:
+            for wl in wl_axis:
+                d, s = steady_state_stage(library, corner, size, wl)
+                uniform[(size, wl)] = d
+                uniform_slew[(size, wl)] = s
+                delay_rows: List[Tuple[float, ...]] = []
+                slew_rows: List[Tuple[float, ...]] = []
+                for slew_in in detail_slew_axis:
+                    drow = []
+                    srow = []
+                    for load in detail_load_axis:
+                        dd, ss = stage_delay(
+                            library, corner, size, wl, slew_in, load
+                        )
+                        drow.append(dd)
+                        srow.append(ss)
+                    delay_rows.append(tuple(drow))
+                    slew_rows.append(tuple(srow))
+                detail[(size, wl)] = NLDMTable(
+                    tuple(detail_slew_axis), tuple(detail_load_axis), tuple(delay_rows)
+                )
+                detail_slew[(size, wl)] = NLDMTable(
+                    tuple(detail_slew_axis), tuple(detail_load_axis), tuple(slew_rows)
+                )
+        luts[corner.name] = StageDelayLUT(
+            corner=corner,
+            sizes=use_sizes,
+            wl_axis=tuple(wl_axis),
+            uniform=uniform,
+            uniform_slew=uniform_slew,
+            detail=detail,
+            detail_slew=detail_slew,
+        )
+    return luts

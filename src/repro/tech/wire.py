@@ -1,0 +1,69 @@
+"""Per-corner wire parasitics.
+
+Clock routing uses mid-level metal; we model it with a single per-corner
+(resistance, capacitance) per micrometre pair.  The BEOL condition of the
+corner (Cmax / Cmin) scales both quantities via the derate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.corners import Corner
+from repro.tech.derating import DerateModel
+
+#: Nominal unit resistance of the clock routing layer (kOhm per um).
+UNIT_RES_KOHM_PER_UM = 0.0026
+
+#: Nominal unit capacitance of the clock routing layer (fF per um).
+UNIT_CAP_FF_PER_UM = 0.185
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Wire RC evaluator for one corner.
+
+    ``res_per_um`` is in kOhm/um and ``cap_per_um`` in fF/um so that a
+    segment's RC product is directly in ps (see :mod:`repro.units`).
+    """
+
+    corner: Corner
+    res_per_um: float
+    cap_per_um: float
+
+    @staticmethod
+    def for_corner(
+        corner: Corner,
+        derate: DerateModel,
+        unit_res: float = UNIT_RES_KOHM_PER_UM,
+        unit_cap: float = UNIT_CAP_FF_PER_UM,
+    ) -> "WireModel":
+        """Build the wire model for ``corner`` given a derate model.
+
+        The derate factors are relative to the derate model's reference
+        corner, so the reference corner's wire model uses the raw unit
+        values scaled by 1.0.
+        """
+        return WireModel(
+            corner=corner,
+            res_per_um=unit_res * derate.wire_res_factor(corner),
+            cap_per_um=unit_cap * derate.wire_cap_factor(corner),
+        )
+
+    def segment_res(self, length_um: float) -> float:
+        """Total resistance (kOhm) of a segment of ``length_um``."""
+        if length_um < 0:
+            raise ValueError("negative wire length")
+        return self.res_per_um * length_um
+
+    def segment_cap(self, length_um: float) -> float:
+        """Total capacitance (fF) of a segment of ``length_um``."""
+        if length_um < 0:
+            raise ValueError("negative wire length")
+        return self.cap_per_um * length_um
+
+    def lumped_delay(self, length_um: float, load_ff: float = 0.0) -> float:
+        """Single-segment Elmore delay (ps): R * (C/2 + load)."""
+        return self.segment_res(length_um) * (
+            self.segment_cap(length_um) / 2.0 + load_ff
+        )

@@ -1,0 +1,16 @@
+"""Testcase generators.
+
+Scaled-down analogues of the paper's testcases (Section 5.1, Table 4):
+
+* ``CLS1v1`` / ``CLS1v2`` — high-speed application-processor-like blocks:
+  four identical interface-logic-module (ILM) quadrants, implemented at
+  corners (c0, c1, c3).
+* ``CLS2v1`` — a memory-controller-like block: L-shaped floorplan with the
+  controller at the center and interface logic in the top/bottom arms,
+  ~1 mm launch-capture separations, corners (c0, c1, c2).
+
+Sizes are scaled from the paper's 36K-270K flip-flops to hundreds of
+sinks so the full flow runs on a laptop; every structural driver of
+cross-corner skew variation (deep buffering, long sink-pair separation,
+mixed setup-/hold-critical corners) is preserved.
+"""

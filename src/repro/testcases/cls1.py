@@ -1,0 +1,190 @@
+"""CLS1: application-processor-like testcases (paper Section 5.1).
+
+Four identical 650um x 650um interface logic modules (ILMs) floorplanned
+as quadrants of a square block.  Flip-flops sit in banked clusters inside
+each ILM — the register-file / pipeline-bank structure of a high-speed
+processor core.  Implemented at corners (c0, c1, c3): two setup-critical
+slow corners and one hold-critical fast corner.
+
+``CLS1v1`` and ``CLS1v2`` differ in floorplan details and CTS recipe (the
+paper derives them by modifying the floorplan and CTS flow): v2 uses a
+different placement seed, slightly larger block, more sinks per bank and
+a wider leaf-cluster radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cts.synthesis import CTSConfig, synthesize_tree
+from repro.design import Design
+from repro.eco.legalize import Legalizer
+from repro.geometry import BBox, Point
+from repro.netlist.sink_pairs import DatapathPair
+from repro.tech.library import Library, default_library
+from repro.testcases.datapaths import generate_cross_pairs, generate_local_pairs
+
+#: Corner names for CLS1 (Table 4): setup-critical c0, c1; hold-critical c3.
+CLS1_CORNERS: Tuple[str, ...] = ("c0", "c1", "c3")
+CLS1_SETUP_CORNERS: Tuple[str, ...] = ("c0", "c1")
+
+#: ILM edge length (um), straight from the paper.
+ILM_EDGE_UM = 650.0
+
+
+@dataclass(frozen=True)
+class CLS1Spec:
+    """Scaled CLS1 testcase parameters."""
+
+    name: str
+    seed: int
+    block_edge_um: float
+    banks_per_ilm: int
+    sinks_per_bank: int
+    bank_radius_um: float
+    local_pairs: int
+    cross_pairs: int
+    top_k: int
+    leaf_radius_um: float
+
+
+_V1 = CLS1Spec(
+    name="CLS1v1",
+    seed=20150607,
+    block_edge_um=1340.0,
+    banks_per_ilm=6,
+    sinks_per_bank=16,
+    bank_radius_um=70.0,
+    local_pairs=420,
+    cross_pairs=120,
+    top_k=160,
+    leaf_radius_um=130.0,
+)
+
+_V2 = CLS1Spec(
+    name="CLS1v2",
+    seed=20150611,
+    block_edge_um=1380.0,
+    banks_per_ilm=7,
+    sinks_per_bank=14,
+    bank_radius_um=90.0,
+    local_pairs=420,
+    cross_pairs=120,
+    top_k=160,
+    leaf_radius_um=150.0,
+)
+
+
+def _ilm_origins(spec: CLS1Spec) -> List[Point]:
+    """Lower-left corners of the four ILM quadrants."""
+    margin = (spec.block_edge_um - 2.0 * ILM_EDGE_UM) / 2.0
+    lo = margin
+    hi = margin + ILM_EDGE_UM
+    return [Point(lo, lo), Point(hi, lo), Point(lo, hi), Point(hi, hi)]
+
+
+def _place_sinks(
+    spec: CLS1Spec, rng: np.random.Generator
+) -> Tuple[List[Point], List[List[int]]]:
+    """Banked sink placement; returns locations and per-ILM index groups."""
+    locations: List[Point] = []
+    groups: List[List[int]] = []
+    used = set()
+    for origin in _ilm_origins(spec):
+        group: List[int] = []
+        for _ in range(spec.banks_per_ilm):
+            cx = origin.x + float(rng.uniform(80.0, ILM_EDGE_UM - 80.0))
+            cy = origin.y + float(rng.uniform(80.0, ILM_EDGE_UM - 80.0))
+            placed = 0
+            while placed < spec.sinks_per_bank:
+                x = cx + float(rng.uniform(-spec.bank_radius_um, spec.bank_radius_um))
+                y = cy + float(rng.uniform(-spec.bank_radius_um, spec.bank_radius_um))
+                key = (round(x, 1), round(y, 1))
+                if key in used:
+                    continue  # flop locations must be unique sites
+                used.add(key)
+                group.append(len(locations))
+                locations.append(Point(key[0], key[1]))
+                placed += 1
+        groups.append(group)
+    return locations, groups
+
+
+def build_cls1(
+    variant: int = 1,
+    library: Library = None,
+    balance_rounds: int = 3,
+) -> Design:
+    """Build a CLS1 testcase (variant 1 or 2) end to end.
+
+    Generates the floorplan and sinks, synthesizes the "commercial CTS"
+    input tree at the CLS1 corner set, generates datapaths, and selects the
+    critical pairs the optimization will target.
+    """
+    if variant not in (1, 2):
+        raise ValueError("CLS1 has variants 1 and 2")
+    spec = _V1 if variant == 1 else _V2
+    lib = library or default_library(CLS1_CORNERS)
+    if tuple(c.name for c in lib.corners) != CLS1_CORNERS:
+        raise ValueError(f"CLS1 requires corners {CLS1_CORNERS}")
+
+    rng = np.random.default_rng(spec.seed)
+    region = BBox(0.0, 0.0, spec.block_edge_um, spec.block_edge_um)
+    legalizer = Legalizer(region=region)
+    sink_locs, ilm_groups = _place_sinks(spec, rng)
+    source = Point(spec.block_edge_um / 2.0, 0.0)
+
+    cts = CTSConfig(
+        leaf_radius_um=spec.leaf_radius_um, balance_rounds=balance_rounds
+    )
+    tree = synthesize_tree(source, sink_locs, lib, region, legalizer, cts)
+
+    # Map placement indices to tree sink ids: synthesis adds sinks in
+    # cluster order, so recover the correspondence by location.
+    sink_ids = _match_sinks(tree, sink_locs)
+    locations = {sid: tree.node(sid).location for sid in sink_ids.values()}
+
+    datapaths: List[DatapathPair] = []
+    all_ids = [sink_ids[i] for i in range(len(sink_locs))]
+    datapaths += generate_local_pairs(
+        rng, all_ids, locations, spec.local_pairs, CLS1_CORNERS, CLS1_SETUP_CORNERS
+    )
+    # Cross-ILM paths (the four cores talk to each other via the fabric).
+    for a in range(len(ilm_groups)):
+        b = (a + 1) % len(ilm_groups)
+        datapaths += generate_cross_pairs(
+            rng,
+            [sink_ids[i] for i in ilm_groups[a]],
+            [sink_ids[i] for i in ilm_groups[b]],
+            locations,
+            spec.cross_pairs // len(ilm_groups),
+            CLS1_CORNERS,
+            CLS1_SETUP_CORNERS,
+        )
+
+    return Design.assemble(
+        name=spec.name,
+        tree=tree,
+        library=lib,
+        datapaths=datapaths,
+        region=region,
+        top_k=spec.top_k,
+    )
+
+
+def _match_sinks(tree, sink_locs: List[Point]) -> Dict[int, int]:
+    """Map original sink indices to tree node ids by exact location."""
+    by_loc: Dict[Tuple[float, float], int] = {}
+    for sid in tree.sinks():
+        loc = tree.node(sid).location
+        by_loc[(loc.x, loc.y)] = sid
+    mapping: Dict[int, int] = {}
+    for idx, loc in enumerate(sink_locs):
+        sid = by_loc.get((loc.x, loc.y))
+        if sid is None:
+            raise RuntimeError(f"sink at {loc} lost during synthesis")
+        mapping[idx] = sid
+    return mapping

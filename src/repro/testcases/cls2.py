@@ -1,0 +1,182 @@
+"""CLS2: memory-controller-like testcase (paper Section 5.1).
+
+An L-shaped block with the controller logic at the center and interface
+logic in the top and bottom arms.  Control signals originate in the
+controller; the flip-flops of the interface logic sit ~1 mm away from the
+controller flops they exchange data with.  That separation forces the CTS
+tool to balance long clock paths with many buffers — which is exactly what
+creates large cross-corner skew variation.
+
+Implemented at corners (c0, c1, c2): c0/c1 setup-critical, c2
+hold-critical (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cts.synthesis import CTSConfig, synthesize_tree
+from repro.design import Design
+from repro.eco.legalize import Legalizer
+from repro.geometry import BBox, Point
+from repro.netlist.sink_pairs import DatapathPair
+from repro.tech.library import Library, default_library
+from repro.testcases.datapaths import generate_cross_pairs, generate_local_pairs
+
+#: Corner names for CLS2 (Table 4): setup-critical c0, c1; hold-critical c2.
+CLS2_CORNERS: Tuple[str, ...] = ("c0", "c1", "c2")
+CLS2_SETUP_CORNERS: Tuple[str, ...] = ("c0", "c1")
+
+
+@dataclass(frozen=True)
+class CLS2Spec:
+    """Scaled CLS2 testcase parameters."""
+
+    name: str
+    seed: int
+    width_um: float
+    height_um: float
+    arm_depth_um: float
+    controller_sinks: int
+    arm_sinks: int
+    local_pairs: int
+    cross_pairs: int
+    top_k: int
+
+
+_V1 = CLS2Spec(
+    name="CLS2v1",
+    seed=20150615,
+    width_um=1000.0,
+    height_um=2300.0,
+    arm_depth_um=450.0,
+    controller_sinks=220,
+    arm_sinks=130,
+    local_pairs=420,
+    cross_pairs=260,
+    top_k=170,
+)
+
+
+def _place_sinks(
+    spec: CLS2Spec, rng: np.random.Generator
+) -> Tuple[List[Point], Dict[str, List[int]]]:
+    """Sink placement: controller block center, interface in the two arms."""
+    locations: List[Point] = []
+    groups: Dict[str, List[int]] = {"controller": [], "top": [], "bottom": []}
+    used = set()
+
+    def place(count: int, xlo: float, xhi: float, ylo: float, yhi: float, group: str):
+        placed = 0
+        while placed < count:
+            x = float(rng.uniform(xlo, xhi))
+            y = float(rng.uniform(ylo, yhi))
+            key = (round(x, 1), round(y, 1))
+            if key in used:
+                continue
+            used.add(key)
+            groups[group].append(len(locations))
+            locations.append(Point(key[0], key[1]))
+            placed += 1
+
+    mid = spec.height_um / 2.0
+    ctrl_half = 350.0
+    place(
+        spec.controller_sinks,
+        120.0,
+        spec.width_um - 120.0,
+        mid - ctrl_half,
+        mid + ctrl_half,
+        "controller",
+    )
+    place(
+        spec.arm_sinks,
+        60.0,
+        spec.width_um - 60.0,
+        spec.height_um - spec.arm_depth_um,
+        spec.height_um - 40.0,
+        "top",
+    )
+    place(
+        spec.arm_sinks,
+        60.0,
+        spec.width_um - 60.0,
+        40.0,
+        spec.arm_depth_um,
+        "bottom",
+    )
+    return locations, groups
+
+
+def build_cls2(
+    library: Library = None,
+    balance_rounds: int = 3,
+) -> Design:
+    """Build the CLS2v1 testcase end to end."""
+    spec = _V1
+    lib = library or default_library(CLS2_CORNERS)
+    if tuple(c.name for c in lib.corners) != CLS2_CORNERS:
+        raise ValueError(f"CLS2 requires corners {CLS2_CORNERS}")
+
+    rng = np.random.default_rng(spec.seed)
+    region = BBox(0.0, 0.0, spec.width_um, spec.height_um)
+    legalizer = Legalizer(region=region)
+    sink_locs, groups = _place_sinks(spec, rng)
+    source = Point(spec.width_um / 2.0, spec.height_um / 2.0)
+
+    cts = CTSConfig(
+        leaf_radius_um=140.0,
+        branch_radius_um=700.0,
+        balance_rounds=balance_rounds,
+    )
+    tree = synthesize_tree(source, sink_locs, lib, region, legalizer, cts)
+
+    sink_ids = _match_sinks(tree, sink_locs)
+    locations = {sid: tree.node(sid).location for sid in sink_ids.values()}
+    id_groups = {
+        name: [sink_ids[i] for i in idxs] for name, idxs in groups.items()
+    }
+
+    datapaths: List[DatapathPair] = []
+    all_ids = list(sink_ids.values())
+    datapaths += generate_local_pairs(
+        rng, all_ids, locations, spec.local_pairs, CLS2_CORNERS, CLS2_SETUP_CORNERS
+    )
+    # Controller <-> interface control/data paths: the ~1mm separations.
+    for arm in ("top", "bottom"):
+        datapaths += generate_cross_pairs(
+            rng,
+            id_groups["controller"],
+            id_groups[arm],
+            locations,
+            spec.cross_pairs // 2,
+            CLS2_CORNERS,
+            CLS2_SETUP_CORNERS,
+        )
+
+    return Design.assemble(
+        name=spec.name,
+        tree=tree,
+        library=lib,
+        datapaths=datapaths,
+        region=region,
+        top_k=spec.top_k,
+    )
+
+
+def _match_sinks(tree, sink_locs: List[Point]) -> Dict[int, int]:
+    """Map original sink indices to tree node ids by exact location."""
+    by_loc: Dict[Tuple[float, float], int] = {}
+    for sid in tree.sinks():
+        loc = tree.node(sid).location
+        by_loc[(loc.x, loc.y)] = sid
+    mapping: Dict[int, int] = {}
+    for idx, loc in enumerate(sink_locs):
+        sid = by_loc.get((loc.x, loc.y))
+        if sid is None:
+            raise RuntimeError(f"sink at {loc} lost during synthesis")
+        mapping[idx] = sid
+    return mapping

@@ -1,0 +1,52 @@
+"""Physical unit conventions used throughout the library.
+
+The whole code base uses one consistent unit system chosen so that no
+conversion constants appear inside formulas:
+
+========== ========= =====================================================
+Quantity   Unit      Rationale
+========== ========= =====================================================
+time       ps        clock skew / latency scale of 28nm clock trees
+distance   um        placement and routing grid scale
+capacitance fF       pin and wire capacitance scale
+resistance kOhm      1 kOhm x 1 fF = 1e3 * 1e-15 s = 1 ps exactly
+power      mW        reported clock-tree power scale (Table 5)
+area       um^2      reported cell-area scale (Table 5)
+========== ========= =====================================================
+
+Because ``kOhm * fF == ps``, Elmore products ``R * C`` evaluate directly to
+picoseconds with no scale factors.
+"""
+
+from __future__ import annotations
+
+#: Multiply a value in ps by this to obtain nanoseconds.
+PS_TO_NS = 1e-3
+
+#: Multiply a value in ns by this to obtain picoseconds.
+NS_TO_PS = 1e3
+
+#: Multiply a value in kOhm by this to obtain Ohm.
+KOHM_TO_OHM = 1e3
+
+#: Multiply a value in Ohm by this to obtain kOhm.
+OHM_TO_KOHM = 1e-3
+
+
+def ps_to_ns(value_ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value_ps * PS_TO_NS
+
+
+def ns_to_ps(value_ns: float) -> float:
+    """Convert nanoseconds to picoseconds."""
+    return value_ns * NS_TO_PS
+
+
+def rc_delay_ps(resistance_kohm: float, capacitance_ff: float) -> float:
+    """Return the RC product in picoseconds.
+
+    With the library-wide unit system the product is already in ps; this
+    helper exists to make call sites self-documenting.
+    """
+    return resistance_kohm * capacitance_ff

@@ -1,0 +1,111 @@
+"""Analysis layer: power model, Table-5 rows, histograms, report rendering."""
+
+import pytest
+
+from repro.analysis.histograms import Histogram, ratio_histogram, skew_ratios
+from repro.analysis.metrics import table5_row
+from repro.analysis.power import clock_tree_power, total_net_capacitance_ff
+from repro.analysis.report import (
+    render_scatter_summary,
+    render_series,
+    render_table,
+)
+
+
+class TestPower:
+    def test_components_positive(self, mini_design):
+        power = clock_tree_power(mini_design)
+        assert power.switching_mw > 0
+        assert power.internal_mw > 0
+        assert power.leakage_mw > 0
+        assert power.total_mw == pytest.approx(
+            power.switching_mw + power.internal_mw + power.leakage_mw
+        )
+
+    def test_switching_scales_with_frequency(self, mini_design):
+        p1 = clock_tree_power(mini_design, frequency_ghz=1.0)
+        p2 = clock_tree_power(mini_design, frequency_ghz=2.0)
+        assert p2.switching_mw == pytest.approx(2 * p1.switching_mw)
+        assert p2.leakage_mw == pytest.approx(p1.leakage_mw)
+
+    def test_capacitance_includes_wire_and_pins(self, mini_design):
+        cap = total_net_capacitance_ff(mini_design.tree, mini_design.library)
+        wire = mini_design.library.wire(mini_design.library.corners.nominal)
+        assert cap > wire.segment_cap(mini_design.tree.total_wirelength())
+
+
+class TestTable5Row:
+    def test_row_fields(self, mini_design, mini_problem):
+        row = table5_row(mini_design, "orig", mini_problem.baseline)
+        assert row.testcase == "MINI"
+        assert row.variation_norm == pytest.approx(1.0)
+        assert row.cell_count == mini_design.clock_cell_count()
+        assert set(row.local_skew_ps) == {"c0", "c1", "c3"}
+
+    def test_normalization_against_baseline(self, mini_design, mini_problem):
+        base = mini_problem.baseline.total_variation
+        row = table5_row(
+            mini_design, "x", mini_problem.baseline, baseline_variation_ps=2 * base
+        )
+        assert row.variation_norm == pytest.approx(0.5)
+
+    def test_formatted_cells(self, mini_design, mini_problem):
+        row = table5_row(mini_design, "orig", mini_problem.baseline)
+        cells = row.formatted()
+        assert cells[0] == "MINI"
+        assert len(cells) == 7
+
+
+class TestHistograms:
+    def test_histogram_stats(self):
+        h = Histogram.of([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert h.mean == pytest.approx(2.5)
+        assert h.span == pytest.approx(3.0)
+        assert sum(h.counts) == 4
+
+    def test_empty_histogram(self):
+        h = Histogram.of([])
+        assert h.mean == 0.0
+
+    def test_render_contains_bins(self):
+        h = Histogram.of([1.0, 1.1, 5.0], bins=2)
+        text = h.render(label="demo")
+        assert "demo" in text and "mean=" in text
+
+    def test_skew_ratios_skip_tiny_nominal(self, mini_problem):
+        lat = mini_problem.baseline.latencies
+        ratios = skew_ratios(lat, mini_problem.pairs, "c1")
+        assert len(ratios) > 0
+        assert all(abs(r) < 100 for r in ratios)
+
+    def test_ratio_histogram_shape(self, mini_problem):
+        lat = mini_problem.baseline.latencies
+        hist = ratio_histogram(lat, mini_problem.pairs, "c1", bins=10)
+        assert len(hist.counts) == 10
+
+    def test_slow_corner_ratio_above_one_on_average(self, mini_problem):
+        lat = mini_problem.baseline.latencies
+        hist = ratio_histogram(lat, mini_problem.pairs, "c1", bins=10)
+        assert hist.mean > 1.0
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table("T", ["a", "bb"], [["1", "22"], ["333", "4"]])
+        assert "== T ==" in text
+        assert "333" in text
+
+    def test_render_table_validates_width(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], [["1", "2"]])
+
+    def test_render_series(self):
+        text = render_series("S", "x", "y", [(1.0, 2.0)], ["note"])
+        assert "note" in text
+
+    def test_scatter_summary(self):
+        text = render_scatter_summary("P", [1, 2, 3], [1.1, 2.1, 2.9])
+        assert "corr=" in text
+
+    def test_scatter_summary_few_points(self):
+        assert "not enough" in render_scatter_summary("P", [1], [1])

@@ -1,0 +1,62 @@
+"""Worst-skew LP baseline (Lung et al. style objective)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import WorstSkewLP, worst_normalized_skew
+from repro.core.lp import build_model_data
+from repro.tech.ratio_bounds import fit_all_ratio_bounds
+
+
+@pytest.fixture(scope="module")
+def worst_lp(mini_design, mini_problem, stage_luts):
+    ratio_bounds = fit_all_ratio_bounds(mini_design.library)
+    data = build_model_data(
+        mini_design.tree,
+        mini_problem.timer,
+        mini_design.pairs,
+        mini_problem.alphas,
+        stage_luts,
+    )
+    return WorstSkewLP(data, ratio_bounds), data
+
+
+class TestWorstSkewLP:
+    def test_feasible(self, worst_lp):
+        lp, _ = worst_lp
+        sol = lp.minimize_worst_skew()
+        assert sol.feasible
+
+    def test_worst_bound_not_above_measured(self, worst_lp, mini_problem):
+        lp, data = worst_lp
+        sol = lp.minimize_worst_skew()
+        measured = worst_normalized_skew(
+            mini_problem.baseline.latencies,
+            data.pairs,
+            mini_problem.alphas,
+        )
+        assert sol.achieved_variation_bound <= measured + 1e-6
+
+    def test_frozen_arcs_untouched(self, worst_lp):
+        lp, _ = worst_lp
+        sol = lp.minimize_worst_skew()
+        frozen = ~lp._optimizable
+        assert np.all(np.abs(sol.delta[frozen]) < 1e-9)
+
+    def test_deltas_within_beta_window(self, worst_lp):
+        lp, data = worst_lp
+        sol = lp.minimize_worst_skew()
+        new_delay = data.arc_delay + sol.delta
+        assert np.all(new_delay <= 1.2 * data.arc_delay + 1e-6)
+
+
+class TestMeasuredWorst:
+    def test_worst_skew_formula(self):
+        latencies = {"c0": {1: 10.0, 2: 25.0}, "c1": {1: 20.0, 2: 30.0}}
+        alphas = {"c0": 1.0, "c1": 0.5}
+        pairs = [(1, 2)]
+        # |1.0 * (10-25)| = 15;  |0.5 * (20-30)| = 5 -> worst 15.
+        assert worst_normalized_skew(latencies, pairs, alphas) == pytest.approx(15.0)
+
+    def test_empty_pairs(self):
+        assert worst_normalized_skew({"c0": {}}, [], {"c0": 1.0}) == 0.0

@@ -1,0 +1,68 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.testcase == "MINI"
+        assert args.flow == "global-local"
+
+    def test_bad_testcase_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--testcase", "NOPE"])
+
+
+class TestCommands:
+    def test_corners(self, capsys):
+        assert main(["corners"]) == 0
+        out = capsys.readouterr().out
+        assert "c0" in out and "Cmax" in out
+
+    def test_build_mini_with_output(self, capsys, tmp_path):
+        out_file = tmp_path / "tree.json"
+        assert main(["build", "--testcase", "MINI", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "sinks" in out
+
+        # Round-trip the written file.
+        from repro.netlist.serialize import load_tree
+
+        tree = load_tree(str(out_file))
+        tree.validate()
+
+    def test_train_small(self, capsys):
+        assert main(["train", "--cases", "3", "--moves", "4", "--predictor", "svr"]) == 0
+        out = capsys.readouterr().out
+        assert "MAE" in out
+
+    @pytest.mark.slow
+    def test_optimize_local_analytical(self, capsys, tmp_path):
+        out_file = tmp_path / "opt.json"
+        code = main(
+            [
+                "optimize",
+                "--testcase",
+                "MINI",
+                "--flow",
+                "local",
+                "--predictor",
+                "analytical",
+                "--local-iterations",
+                "2",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "reduction" in out

@@ -1,0 +1,74 @@
+"""CTS sink clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cts.clustering import cluster_points
+from repro.geometry import Point
+
+coords = st.floats(0.0, 1000.0, allow_nan=False)
+point_lists = st.lists(st.builds(Point, coords, coords), min_size=1, max_size=60)
+
+
+def test_empty_input():
+    assert cluster_points([], 4, 100.0) == []
+
+
+def test_single_point():
+    clusters = cluster_points([Point(5, 5)], 4, 100.0)
+    assert len(clusters) == 1
+    assert clusters[0].center == Point(5, 5)
+
+
+def test_fanout_cap_respected():
+    pts = [Point(float(i), 0.0) for i in range(20)]
+    clusters = cluster_points(pts, 6, 1e9)
+    assert all(len(c) <= 6 for c in clusters)
+
+
+def test_radius_cap_respected():
+    pts = [Point(0, 0), Point(500, 0), Point(0, 500), Point(500, 500)]
+    clusters = cluster_points(pts, 10, 100.0)
+    # The four corners are too spread to share a cluster.
+    assert len(clusters) == 4
+
+
+def test_invalid_fanout_rejected():
+    with pytest.raises(ValueError):
+        cluster_points([Point(0, 0)], 0, 10.0)
+
+
+def test_center_is_median():
+    pts = [Point(0, 0), Point(10, 0), Point(100, 0)]
+    clusters = cluster_points(pts, 10, 1e9)
+    assert clusters[0].center == Point(10, 0)
+
+
+def test_deterministic():
+    pts = [Point(float(i * 37 % 100), float(i * 53 % 90)) for i in range(30)]
+    a = cluster_points(pts, 5, 80.0)
+    b = cluster_points(pts, 5, 80.0)
+    assert [c.indices for c in a] == [c.indices for c in b]
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_partition_property(pts):
+    """Clusters partition the index set exactly."""
+    clusters = cluster_points(pts, 8, 150.0)
+    seen = [i for c in clusters for i in c.indices]
+    assert sorted(seen) == list(range(len(pts)))
+    for cluster in clusters:
+        assert len(cluster) <= 8 or len(cluster) == 1
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_radius_property(pts):
+    clusters = cluster_points(pts, 1000, 120.0)
+    for cluster in clusters:
+        if len(cluster) == 1:
+            continue
+        for idx in cluster.indices:
+            assert pts[idx].manhattan(cluster.center) <= 120.0 + 1e-6

@@ -1,0 +1,69 @@
+"""Router overhead model."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.route.congestion import (
+    BASE_OVERHEAD,
+    JITTER_SPAN,
+    chain_length_factor,
+    routed_length_factor,
+)
+
+
+class TestFactor:
+    def test_always_above_one(self):
+        assert routed_length_factor(1, 0.0) > 1.0
+
+    def test_monotone_in_fanout(self):
+        small = routed_length_factor(1, 5000.0)
+        large = routed_length_factor(30, 5000.0)
+        assert large > small
+
+    def test_monotone_in_density(self):
+        sparse = routed_length_factor(4, 1000.0)
+        dense = routed_length_factor(4, 50000.0)
+        assert dense > sparse
+
+    def test_density_saturates(self):
+        a = routed_length_factor(4, 100000.0)
+        b = routed_length_factor(4, 1000000.0)
+        assert a == pytest.approx(b)
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            routed_length_factor(0, 100.0)
+
+    def test_bounded(self):
+        worst = routed_length_factor(
+            1000, 1e9, Point(0, 0), Point(1, 1)
+        )
+        assert worst < 1.25
+
+
+class TestJitter:
+    def test_deterministic_per_edge(self):
+        a = routed_length_factor(3, 1000.0, Point(10, 20), Point(50, 60))
+        b = routed_length_factor(3, 1000.0, Point(10, 20), Point(50, 60))
+        assert a == b
+
+    def test_varies_across_edges(self):
+        values = {
+            routed_length_factor(3, 1000.0, Point(0, 0), Point(float(i), 7.0))
+            for i in range(20)
+        }
+        assert len(values) > 10
+
+    def test_jitter_within_span(self):
+        base = routed_length_factor(3, 1000.0)  # expected jitter
+        for i in range(20):
+            v = routed_length_factor(3, 1000.0, Point(0, 0), Point(float(i), 3.0))
+            assert abs(v - base) <= JITTER_SPAN / 2 + 1e-9
+
+
+class TestChainFactor:
+    def test_expected_jitter(self):
+        assert chain_length_factor() == routed_length_factor(1, 0.0)
+
+    def test_small_overhead(self):
+        assert 1.0 + BASE_OVERHEAD < chain_length_factor() < 1.08

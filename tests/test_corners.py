@@ -1,0 +1,99 @@
+"""Corner definitions and corner-set behaviour (paper Table 3)."""
+
+import pytest
+
+from repro.tech.corners import (
+    Corner,
+    CornerSet,
+    TABLE3_CORNERS,
+    default_corners,
+)
+
+
+class TestCorner:
+    def test_table3_has_four_corners(self):
+        assert sorted(TABLE3_CORNERS) == ["c0", "c1", "c2", "c3"]
+
+    def test_c0_definition(self):
+        c0 = TABLE3_CORNERS["c0"]
+        assert (c0.process, c0.voltage, c0.temperature_c, c0.beol) == (
+            "ss",
+            0.90,
+            -25.0,
+            "Cmax",
+        )
+
+    def test_c3_definition(self):
+        c3 = TABLE3_CORNERS["c3"]
+        assert (c3.process, c3.voltage, c3.temperature_c, c3.beol) == (
+            "ff",
+            1.32,
+            125.0,
+            "Cmin",
+        )
+
+    def test_invalid_process_rejected(self):
+        with pytest.raises(ValueError):
+            Corner("x", "slow", 1.0, 25.0, "Cmax")
+
+    def test_invalid_beol_rejected(self):
+        with pytest.raises(ValueError):
+            Corner("x", "ss", 1.0, 25.0, "Cbig")
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            Corner("x", "ss", 0.0, 25.0, "Cmax")
+
+    def test_describe_mentions_fields(self):
+        text = TABLE3_CORNERS["c1"].describe()
+        assert "ss" in text and "0.75" in text and "Cmax" in text
+
+
+class TestCornerSet:
+    def test_default_order_and_nominal(self):
+        corners = default_corners()
+        assert corners.nominal.name == "c0"
+        assert [c.name for c in corners] == ["c0", "c1", "c2", "c3"]
+
+    def test_cls_subsets(self):
+        cls1 = default_corners(("c0", "c1", "c3"))
+        assert len(cls1) == 3
+        assert cls1[2].name == "c3"
+
+    def test_nominal_must_be_first(self):
+        with pytest.raises(ValueError):
+            default_corners(("c1", "c0"))
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(KeyError):
+            default_corners(("c0", "c9"))
+
+    def test_pairs_count(self):
+        corners = default_corners()
+        assert len(corners.pairs()) == 6  # C(4, 2)
+
+    def test_pairs_cover_all(self):
+        corners = default_corners(("c0", "c1", "c3"))
+        names = {(a.name, b.name) for a, b in corners.pairs()}
+        assert names == {("c0", "c1"), ("c0", "c3"), ("c1", "c3")}
+
+    def test_by_name_and_index(self):
+        corners = default_corners()
+        c2 = corners.by_name("c2")
+        assert corners.index_of(c2) == 2
+        with pytest.raises(KeyError):
+            corners.by_name("nope")
+
+    def test_duplicate_names_rejected(self):
+        c = TABLE3_CORNERS["c0"]
+        with pytest.raises(ValueError):
+            CornerSet((c, c))
+
+    def test_non_nominal(self):
+        corners = default_corners(("c0", "c1", "c2"))
+        assert [c.name for c in corners.non_nominal()] == ["c1", "c2"]
+
+    def test_subset(self):
+        corners = default_corners()
+        sub = corners.subset(["c0", "c3"])
+        assert [c.name for c in sub] == ["c0", "c3"]

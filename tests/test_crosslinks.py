@@ -1,0 +1,87 @@
+"""Crosslink insertion baseline (related-work comparison)."""
+
+import pytest
+
+from repro.core.crosslinks import (
+    Crosslink,
+    crosslink_adjusted_latencies,
+    driving_point_resistance,
+    insert_crosslinks,
+)
+from repro.sta.skew import SkewAnalysis
+
+
+class TestFirstOrderModel:
+    def test_link_pulls_endpoints_together(self, mini_design, mini_problem):
+        design = mini_design
+        tree = design.tree
+        lat = mini_problem.baseline.latencies
+        sinks = tree.sinks()
+        a, b = sinks[0], sinks[1]
+        link = Crosslink(a, b, length_um=50.0)
+        adjusted = crosslink_adjusted_latencies(
+            design, tree, lat, [link], design.library.corners
+        )
+        for corner in design.library.corners:
+            name = corner.name
+            before_gap = abs(lat[name][a] - lat[name][b])
+            after_gap = abs(adjusted[name][a] - adjusted[name][b])
+            # The link's cap loading adds equal-ish delay to both sides,
+            # so the *gap* must shrink.
+            assert after_gap < before_gap + 1e-9
+
+    def test_zero_links_identity(self, mini_design, mini_problem):
+        lat = mini_problem.baseline.latencies
+        adjusted = crosslink_adjusted_latencies(
+            mini_design, mini_design.tree, lat, [], mini_design.library.corners
+        )
+        assert adjusted == {k: dict(v) for k, v in lat.items()}
+
+    def test_driving_point_resistance_positive(self, mini_design):
+        tree = mini_design.tree
+        sink = tree.sinks()[0]
+        for corner in mini_design.library.corners:
+            r = driving_point_resistance(mini_design, tree, sink, corner)
+            assert r > 0.0
+
+    def test_slow_corner_has_higher_resistance(self, mini_design):
+        tree = mini_design.tree
+        sink = tree.sinks()[0]
+        corners = mini_design.library.corners
+        r_c0 = driving_point_resistance(mini_design, tree, sink, corners.by_name("c0"))
+        r_c1 = driving_point_resistance(mini_design, tree, sink, corners.by_name("c1"))
+        assert r_c1 > r_c0  # weaker drive at the low-voltage corner
+
+
+class TestInsertion:
+    @pytest.fixture(scope="class")
+    def result(self, mini_design, mini_problem):
+        return insert_crosslinks(
+            mini_design,
+            mini_problem.timer,
+            max_links=6,
+            max_length_um=250.0,
+            alphas=mini_problem.alphas,
+        )
+
+    def test_links_within_length_cap(self, result):
+        assert all(l.length_um <= 250.0 for l in result.links)
+
+    def test_each_sink_linked_at_most_once(self, result):
+        endpoints = [n for l in result.links for n in (l.node_a, l.node_b)]
+        assert len(endpoints) == len(set(endpoints))
+
+    def test_variation_reduced(self, result, mini_problem):
+        assert result.total_variation_ps < mini_problem.baseline.total_variation
+
+    def test_wire_overhead_accounted(self, result):
+        assert result.added_wirelength_um == pytest.approx(
+            sum(l.length_um for l in result.links)
+        )
+        assert result.added_wirelength_um > 0.0
+
+    def test_trade_off_vs_tree_methods(self, result, mini_design, mini_problem):
+        """The related-work claim: crosslinks help, but cost wire that
+        tree-based optimization does not."""
+        overhead = result.added_wirelength_um / mini_design.tree.total_wirelength()
+        assert overhead > 0.005  # non-negligible wire cost

@@ -1,0 +1,113 @@
+"""Elmore and D2M delay metrics: analytic checks and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rc import RCTree
+from repro.sta.d2m import LN2, d2m_delays, response_moments
+from repro.sta.elmore import elmore_delay_to, elmore_delays
+
+
+def single_rc(res: float, cap: float) -> RCTree:
+    tree = RCTree()
+    tree.add_root("drv")
+    tree.add_node("sink", "drv", res_kohm=res, cap_ff=cap)
+    return tree
+
+
+def chain(values):
+    """values: list of (res, cap) pairs."""
+    tree = RCTree()
+    tree.add_root("n0")
+    prev = "n0"
+    for i, (res, cap) in enumerate(values, 1):
+        name = f"n{i}"
+        tree.add_node(name, prev, res_kohm=res, cap_ff=cap)
+        prev = name
+    return tree, prev
+
+
+class TestElmore:
+    def test_single_segment_analytic(self):
+        # Elmore of a single lumped RC is exactly R*C.
+        tree = single_rc(2.0, 3.0)
+        assert elmore_delay_to(tree, "sink") == pytest.approx(6.0)
+
+    def test_two_segment_chain_analytic(self):
+        # R1*(C1+C2) + R2*C2
+        tree, last = chain([(1.0, 1.0), (2.0, 3.0)])
+        assert elmore_delay_to(tree, last) == pytest.approx(1.0 * 4.0 + 2.0 * 3.0)
+
+    def test_root_delay_zero(self):
+        tree = single_rc(1.0, 1.0)
+        assert elmore_delays(tree)["drv"] == 0.0
+
+    def test_monotone_along_path(self):
+        tree, _ = chain([(1.0, 1.0)] * 5)
+        delays = elmore_delays(tree)
+        values = [delays[f"n{i}"] for i in range(6)]
+        assert values == sorted(values)
+
+    def test_side_branch_load_slows_main_path(self):
+        plain = single_rc(1.0, 1.0)
+        loaded = single_rc(1.0, 1.0)
+        loaded.add_node("branch", "drv", res_kohm=0.5, cap_ff=10.0)
+        # Branch hangs at the driver: zero shared resistance, no effect.
+        assert elmore_delay_to(loaded, "sink") == pytest.approx(
+            elmore_delay_to(plain, "sink")
+        )
+
+    def test_branch_below_resistance_does_slow(self):
+        tree, last = chain([(1.0, 1.0), (1.0, 1.0)])
+        base = elmore_delay_to(tree, last)
+        tree.add_node("tap", "n1", res_kohm=0.1, cap_ff=5.0)
+        assert elmore_delay_to(tree, last) == pytest.approx(base + 1.0 * 5.0)
+
+
+class TestD2M:
+    def test_single_pole_analytic(self):
+        # One RC: m1 = RC, m2 = (RC)^2 -> D2M = ln2 * RC (the exact 50%).
+        tree = single_rc(2.0, 3.0)
+        assert d2m_delays(tree)["sink"] == pytest.approx(LN2 * 6.0)
+
+    def test_moments_chain(self):
+        tree, last = chain([(1.0, 1.0), (1.0, 1.0)])
+        m1, m2 = response_moments(tree)
+        # m1 at n2: 1*(2) + 1*(1) = 3;  m2 at n2: 1*(C1 m1_1 + C2 m1_2) + 1*(C2 m1_2)
+        assert m1[last] == pytest.approx(3.0)
+        assert m2[last] == pytest.approx((2.0 + 3.0) + 3.0)
+
+    def test_d2m_never_exceeds_elmore(self):
+        tree, last = chain([(1.0, 2.0), (0.5, 1.0), (2.0, 4.0)])
+        elmore = elmore_delays(tree)
+        d2m = d2m_delays(tree)
+        for node in ("n1", "n2", "n3"):
+            assert d2m[node] <= elmore[node] + 1e-12
+
+    def test_root_is_zero(self):
+        tree = single_rc(1.0, 1.0)
+        assert d2m_delays(tree)["drv"] == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.01, 5.0), st.floats(0.01, 20.0)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60)
+    def test_d2m_elmore_bound_property(self, segments):
+        tree, last = chain(segments)
+        elmore = elmore_delays(tree)
+        d2m = d2m_delays(tree)
+        assert 0.0 <= d2m[last] <= elmore[last] + 1e-9
+
+    def test_far_sink_d2m_closer_to_half_elmore(self):
+        """On a long uniform line D2M approaches ~0.7x Elmore or less."""
+        tree, last = chain([(0.1, 0.5)] * 40)
+        elmore = elmore_delays(tree)[last]
+        d2m = d2m_delays(tree)[last]
+        assert d2m < 0.95 * elmore

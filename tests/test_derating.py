@@ -1,0 +1,75 @@
+"""Derating model: the physical ordering of corner delay factors."""
+
+import pytest
+
+from repro.tech.corners import TABLE3_CORNERS, default_corners
+from repro.tech.derating import (
+    DerateModel,
+    alpha_power_delay_factor,
+    threshold_voltage,
+)
+
+
+@pytest.fixture(scope="module")
+def derate():
+    return DerateModel(reference=TABLE3_CORNERS["c0"])
+
+
+class TestAlphaPower:
+    def test_lower_voltage_is_slower(self):
+        vth = 0.4
+        assert alpha_power_delay_factor(0.75, vth) > alpha_power_delay_factor(
+            0.9, vth
+        )
+
+    def test_higher_vth_is_slower(self):
+        assert alpha_power_delay_factor(0.9, 0.42) > alpha_power_delay_factor(
+            0.9, 0.30
+        )
+
+    def test_insufficient_overdrive_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_power_delay_factor(0.40, 0.38)
+
+
+class TestThresholdVoltage:
+    def test_process_ordering(self):
+        assert threshold_voltage("ss", 25.0) > threshold_voltage("tt", 25.0)
+        assert threshold_voltage("tt", 25.0) > threshold_voltage("ff", 25.0)
+
+    def test_vth_drops_with_temperature(self):
+        assert threshold_voltage("ss", 125.0) < threshold_voltage("ss", -25.0)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_voltage("xx", 25.0)
+
+
+class TestDerateModel:
+    def test_reference_factor_is_one(self, derate):
+        assert derate.gate_factor(TABLE3_CORNERS["c0"]) == pytest.approx(1.0)
+
+    def test_corner_delay_ordering(self, derate):
+        """c1 (lower V, ss) slowest; c3 (ff, highest V) fastest."""
+        factors = {
+            name: derate.gate_factor(TABLE3_CORNERS[name])
+            for name in ("c0", "c1", "c2", "c3")
+        }
+        assert factors["c1"] > factors["c0"] > factors["c2"] > factors["c3"]
+
+    def test_slow_corner_in_plausible_band(self, derate):
+        """c1/c0 gate ratio should look like a 0.9V->0.75V ss derate."""
+        ratio = derate.gate_factor(TABLE3_CORNERS["c1"])
+        assert 1.3 < ratio < 2.3
+
+    def test_fast_corners_in_plausible_band(self, derate):
+        for name in ("c2", "c3"):
+            ratio = derate.gate_factor(TABLE3_CORNERS[name])
+            assert 0.2 < ratio < 0.7
+
+    def test_wire_factors_depend_only_on_beol(self, derate):
+        c1 = TABLE3_CORNERS["c1"]  # Cmax, same as reference
+        c2 = TABLE3_CORNERS["c2"]  # Cmin
+        assert derate.wire_cap_factor(c1) == pytest.approx(1.0)
+        assert derate.wire_cap_factor(c2) < 1.0
+        assert derate.wire_res_factor(c2) < 1.0

@@ -1,0 +1,78 @@
+"""The Design bundle."""
+
+import pytest
+
+from repro.design import Design
+from repro.geometry import BBox, Point
+from repro.netlist.sink_pairs import DatapathPair
+from repro.netlist.tree import ClockTree
+
+
+def tiny_tree():
+    t = ClockTree()
+    src = t.add_source(Point(0, 0))
+    buf = t.add_buffer(src, Point(40, 0), 8)
+    s1 = t.add_sink(buf, Point(70, 10))
+    s2 = t.add_sink(buf, Point(70, -10))
+    s3 = t.add_sink(buf, Point(80, 0))
+    return t, (s1, s2, s3)
+
+
+def make_design(library_cls1):
+    tree, (s1, s2, s3) = tiny_tree()
+    datapaths = [
+        DatapathPair(s1, s2, {"c0": 10.0}, {"c0": 500.0}),
+        DatapathPair(s2, s3, {"c0": 400.0}, {"c0": 400.0}),
+        DatapathPair(s1, s3, {"c1": 5.0}, {"c1": 500.0}),
+    ]
+    return Design.assemble(
+        name="T",
+        tree=tree,
+        library=library_cls1,
+        datapaths=datapaths,
+        region=BBox(0, 0, 100, 100),
+        top_k=2,
+    )
+
+
+class TestAssemble:
+    def test_selects_critical_pairs(self, library_cls1):
+        design = make_design(library_cls1)
+        # top_k=2 per corner over 3 corners; union is deterministic.
+        assert len(design.pairs) >= 2
+        assert all(isinstance(p, tuple) for p in design.pairs)
+
+    def test_validates_tree(self, library_cls1):
+        """A structurally corrupt tree is rejected at assembly."""
+        tree, _ = tiny_tree()
+        buf = tree.buffers()[0]
+        tree.node(buf).size = None  # corrupt: buffer without a size
+        with pytest.raises(ValueError):
+            Design.assemble(
+                name="bad",
+                tree=tree,
+                library=library_cls1,
+                datapaths=[],
+                region=BBox(0, 0, 100, 100),
+                top_k=1,
+            )
+
+    def test_clock_cell_count_counts_inverters(self, library_cls1):
+        design = make_design(library_cls1)
+        # 1 buffer + source driver, two inverters each.
+        assert design.clock_cell_count() == 4
+
+    def test_clock_cell_area_positive_and_size_dependent(self, library_cls1):
+        design = make_design(library_cls1)
+        base = design.clock_cell_area_um2()
+        design.tree.resize_buffer(design.tree.buffers()[0], 32)
+        assert design.clock_cell_area_um2() > base
+
+    def test_with_tree_shares_static_fields(self, library_cls1):
+        design = make_design(library_cls1)
+        clone = design.tree.clone()
+        other = design.with_tree(clone)
+        assert other.tree is clone
+        assert other.pairs is design.pairs
+        assert other.library is design.library
+        assert design.tree is not clone

@@ -1,0 +1,62 @@
+"""U-shape detour geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import BBox, Point, path_length
+from repro.route.detour import detour_polyline, u_shape_via
+
+
+class TestUShape:
+    def test_no_extra_returns_empty(self):
+        assert u_shape_via(Point(0, 0), Point(10, 0), 0.0) == ()
+        assert u_shape_via(Point(0, 0), Point(10, 0), -5.0) == ()
+
+    def test_horizontal_travel_bulges_vertically(self):
+        via = u_shape_via(Point(0, 0), Point(100, 0), 20.0)
+        assert via == (Point(0, 10), Point(100, 10))
+
+    def test_vertical_travel_bulges_horizontally(self):
+        via = u_shape_via(Point(0, 0), Point(0, 100), 20.0)
+        assert via == (Point(10, 0), Point(10, 100))
+
+    def test_exact_extra_length(self):
+        start, end = Point(0, 0), Point(60, 0)
+        via = u_shape_via(start, end, 34.0)
+        poly = [start, *via, end]
+        assert path_length(poly) == pytest.approx(60.0 + 34.0)
+
+    def test_region_flips_side(self):
+        region = BBox(0, -50, 100, 2)  # no room above
+        via = u_shape_via(Point(0, 0), Point(100, 0), 20.0, region)
+        assert all(p.y < 0 for p in via)
+
+    def test_region_clamps_when_neither_side_fits(self):
+        region = BBox(0, -3, 100, 3)
+        via = u_shape_via(Point(0, 0), Point(100, 0), 40.0, region)
+        assert all(region.contains(p) for p in via)
+
+    @given(
+        st.floats(0, 200),
+        st.floats(0, 200),
+        st.floats(1.0, 150.0),
+    )
+    @settings(max_examples=40)
+    def test_unclamped_length_exact(self, x, y, extra):
+        start = Point(0.0, 0.0)
+        end = Point(x, y)
+        poly = [start, *u_shape_via(start, end, extra), end]
+        assert path_length(poly) == pytest.approx(
+            start.manhattan(end) + extra, rel=1e-9, abs=1e-6
+        )
+
+
+class TestDetourPolyline:
+    def test_short_target_gives_direct(self):
+        poly = detour_polyline(Point(0, 0), Point(10, 0), 5.0)
+        assert poly == [Point(0, 0), Point(10, 0)]
+
+    def test_long_target_detours(self):
+        poly = detour_polyline(Point(0, 0), Point(10, 0), 30.0)
+        assert path_length(poly) == pytest.approx(30.0)

@@ -1,0 +1,110 @@
+"""Algorithm 1: LP-guided ECO realization accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core.eco_flow import ECOConfig, LPGuidedECO
+from repro.core.lp import GlobalSkewLP, build_model_data
+from repro.tech.ratio_bounds import fit_all_ratio_bounds
+
+
+@pytest.fixture(scope="module")
+def realized(mini_design, mini_problem, stage_luts):
+    """Solve the LP on mini and realize everything in one shot."""
+    ratio_bounds = fit_all_ratio_bounds(mini_design.library)
+    data = build_model_data(
+        mini_design.tree,
+        mini_problem.timer,
+        mini_design.pairs,
+        mini_problem.alphas,
+        stage_luts,
+    )
+    lp = GlobalSkewLP(data, ratio_bounds)
+    solution = lp.minimize_changes(
+        lp.minimize_variation().achieved_variation_bound * 1.1
+    )
+    timings = {
+        c.name: mini_problem.timer.analyze_corner(mini_design.tree, c)
+        for c in mini_design.library.corners
+    }
+    eco = LPGuidedECO(
+        mini_design.library, stage_luts, mini_design.legalizer
+    )
+    trial = mini_design.tree.clone()
+    report = eco.realize(trial, data, solution, timings)
+    return data, solution, trial, report, timings
+
+
+class TestRealization:
+    def test_tree_stays_valid(self, realized):
+        _, _, trial, _, _ = realized
+        trial.validate()
+
+    def test_some_arcs_realized(self, realized):
+        _, _, _, report, _ = realized
+        assert len(report) > 0
+
+    def test_estimates_near_targets(self, realized):
+        """The LUT search finds configs close to what the LP asked for."""
+        _, _, _, report, _ = realized
+        errs = [
+            np.mean(np.abs(np.subtract(r.estimates_ps, r.targets_ps)))
+            for r in report
+        ]
+        assert float(np.mean(errs)) < 10.0
+
+    def test_realized_delays_track_estimates(
+        self, realized, mini_problem, mini_design
+    ):
+        data, _, trial, report, _ = realized
+        timer = mini_problem.timer
+        new_t = {
+            c.name: timer.analyze_corner(trial, c)
+            for c in mini_design.library.corners
+        }
+        names = [c.name for c in mini_design.library.corners]
+        gaps = []
+        for r in report:
+            arc = data.arcs[r.arc_index]
+            real = [
+                new_t[n].arrival[arc.end] - new_t[n].arrival[arc.start]
+                for n in names
+            ]
+            gaps.append(np.mean(np.abs(np.subtract(real, r.estimates_ps))))
+        assert float(np.mean(gaps)) < 12.0
+
+    def test_noop_candidate_skips_unhelpful_arcs(
+        self, realized, mini_design, mini_problem, stage_luts
+    ):
+        """Arcs whose targets equal current delays are left untouched."""
+        data, solution, _, _, timings = realized
+        eco = LPGuidedECO(
+            mini_design.library, stage_luts, mini_design.legalizer
+        )
+        # Zero-delta solution: realize must not touch anything.
+        from repro.core.lp import LPSolution
+
+        noop = LPSolution(
+            status="optimal",
+            objective_abs_delta=0.0,
+            achieved_variation_bound=0.0,
+            delta=np.zeros_like(solution.delta),
+            pair_variation=np.zeros_like(solution.pair_variation),
+        )
+        trial = mini_design.tree.clone()
+        report = eco.realize(trial, data, noop, timings)
+        assert report == []
+        assert trial.total_wirelength() == pytest.approx(
+            mini_design.tree.total_wirelength()
+        )
+
+    def test_subset_realization(self, realized, mini_design, stage_luts):
+        data, solution, _, _, timings = realized
+        eco = LPGuidedECO(
+            mini_design.library, stage_luts, mini_design.legalizer
+        )
+        nonzero = solution.nonzero_arcs()
+        subset = nonzero[:2]
+        trial = mini_design.tree.clone()
+        report = eco.realize(trial, data, solution, timings, arc_indices=subset)
+        assert {r.arc_index for r in report} <= set(subset)

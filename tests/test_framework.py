@@ -1,0 +1,107 @@
+"""The global / local / global-local flows (paper Figure 1, Table 5 rows)."""
+
+import pytest
+
+from repro.core.framework import (
+    FrameworkConfig,
+    GlobalLocalOptimizer,
+    GlobalOptConfig,
+    GlobalOptimizer,
+    TechnologyCache,
+)
+from repro.core.local_opt import LocalOptConfig
+from repro.core.ml.training import train_predictor
+
+
+@pytest.fixture(scope="module")
+def tech(mini_design):
+    return TechnologyCache(mini_design.library)
+
+
+@pytest.fixture(scope="module")
+def predictor(library_cls1):
+    return train_predictor(library_cls1, [], "full_rsmt_d2m")
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return FrameworkConfig(
+        global_config=GlobalOptConfig(sweep_factors=(1.1,), batch_size=8),
+        local_config=LocalOptConfig(
+            max_iterations=4, max_batches_per_iteration=2
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def global_result(mini_problem, tech):
+    optimizer = GlobalOptimizer(
+        mini_problem, tech, GlobalOptConfig(sweep_factors=(1.1,), batch_size=8)
+    )
+    return optimizer.run()
+
+
+class TestTechnologyCache:
+    def test_luts_cached(self, tech):
+        assert tech.stage_luts is tech.stage_luts
+
+    def test_bounds_cached(self, tech):
+        assert tech.ratio_bounds is tech.ratio_bounds
+
+
+@pytest.mark.slow
+class TestGlobalFlow:
+    def test_never_worsens(self, global_result):
+        assert (
+            global_result.final_objective_ps
+            <= global_result.initial_objective_ps + 1e-9
+        )
+
+    def test_reduces_variation(self, global_result):
+        assert global_result.total_reduction_ps > 0.0
+
+    def test_tree_valid(self, global_result):
+        global_result.tree.validate()
+
+    def test_no_local_skew_degradation(self, global_result, mini_problem):
+        final = mini_problem.evaluate(global_result.tree)
+        assert not final.skews.degraded_local_skew(
+            mini_problem.baseline.skews, tol_ps=0.5
+        )
+
+    def test_batch_accounting(self, global_result):
+        assert global_result.batches_committed >= 1
+        assert global_result.arcs_realized >= 1
+
+
+@pytest.mark.slow
+class TestFlows:
+    def test_unknown_flow_rejected(self, mini_problem, predictor, tech):
+        optimizer = GlobalLocalOptimizer(mini_problem, predictor, tech)
+        with pytest.raises(ValueError):
+            optimizer.run("ultra")
+
+    def test_local_flow_requires_predictor(self, mini_problem, tech):
+        optimizer = GlobalLocalOptimizer(mini_problem, None, tech)
+        with pytest.raises(ValueError):
+            optimizer.run("local")
+
+    def test_global_local_chains(self, mini_problem, predictor, tech, fast_config):
+        optimizer = GlobalLocalOptimizer(
+            mini_problem, predictor, tech, fast_config
+        )
+        result = optimizer.run("global-local")
+        assert result.flow == "global-local"
+        assert result.global_result is not None
+        assert result.local_result is not None
+        assert result.timing.total_variation <= (
+            mini_problem.baseline.total_variation
+        )
+
+    def test_local_only_flow(self, mini_problem, predictor, tech, fast_config):
+        optimizer = GlobalLocalOptimizer(
+            mini_problem, predictor, tech, fast_config
+        )
+        result = optimizer.run("local")
+        assert result.global_result is None
+        assert result.local_result is not None

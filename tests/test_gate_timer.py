@@ -1,0 +1,110 @@
+"""Inverter-pair gate evaluation and the golden timer."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.netlist.tree import ClockTree
+from repro.sta.gate import inverter_pair_timing
+from repro.sta.timer import GoldenTimer
+
+
+class TestInverterPair:
+    def test_pair_delay_is_sum_of_stages(self, library_cls1):
+        cell = library_cls1.cell(8, library_cls1.corners.nominal)
+        timing = inverter_pair_timing(cell, 20.0, 10.0)
+        assert timing.delay_ps == pytest.approx(
+            timing.first_delay_ps + timing.second_delay_ps
+        )
+
+    def test_load_slows_second_stage_only(self, library_cls1):
+        cell = library_cls1.cell(8, library_cls1.corners.nominal)
+        light = inverter_pair_timing(cell, 20.0, 2.0)
+        heavy = inverter_pair_timing(cell, 20.0, 60.0)
+        assert heavy.first_delay_ps == pytest.approx(light.first_delay_ps)
+        assert heavy.second_delay_ps > light.second_delay_ps
+
+    def test_negative_inputs_rejected(self, library_cls1):
+        cell = library_cls1.cell(8, library_cls1.corners.nominal)
+        with pytest.raises(ValueError):
+            inverter_pair_timing(cell, -1.0, 1.0)
+
+
+def two_level_tree(stub_extra: float = 0.0) -> ClockTree:
+    t = ClockTree()
+    src = t.add_source(Point(0, 0))
+    top = t.add_buffer(src, Point(80, 0), 16)
+    left = t.add_buffer(top, Point(160, 60), 8)
+    right = t.add_buffer(top, Point(160, -60), 8)
+    t.add_sink(left, Point(200, 70 + stub_extra))
+    t.add_sink(left, Point(200, 50))
+    t.add_sink(right, Point(200, -70))
+    return t
+
+
+class TestGoldenTimer:
+    def test_arrivals_increase_downstream(self, timer):
+        tree = two_level_tree()
+        timing = timer.analyze_corner(tree, timer.library.corners.nominal)
+        order = tree.topological_order()
+        for nid in order[1:]:
+            parent = tree.parent(nid)
+            assert timing.arrival[nid] > timing.arrival[parent]
+
+    def test_corner_latency_ordering(self, timer):
+        tree = two_level_tree()
+        lat = timer.latencies(tree)
+        sink = tree.sinks()[0]
+        assert lat["c1"][sink] > lat["c0"][sink] > lat["c3"][sink]
+
+    def test_longer_stub_is_later(self, timer):
+        base = timer.latencies(two_level_tree())
+        longer = timer.latencies(two_level_tree(stub_extra=80.0))
+        corner = "c0"
+        # Sink ids are identical across the two isomorphic trees.
+        sink = sorted(base[corner])[0]
+        assert longer[corner][sink] > base[corner][sink]
+
+    def test_detour_increases_latency(self, timer):
+        tree = two_level_tree()
+        sink = tree.sinks()[0]
+        before = timer.latencies(tree)["c0"][sink]
+        tree.set_edge_via(sink, [Point(180, 120), Point(200, 120)])
+        after = timer.latencies(tree)["c0"][sink]
+        assert after > before
+
+    def test_upsizing_leaf_buffer_changes_latency(self, timer):
+        tree = two_level_tree()
+        sink = tree.sinks()[0]
+        before = timer.latencies(tree)["c0"][sink]
+        leaf = tree.parent(sink)
+        tree.resize_buffer(leaf, 32)
+        after = timer.latencies(tree)["c0"][sink]
+        assert after != before
+
+    def test_elmore_metric_never_faster(self, library_cls1):
+        """Elmore wire delays dominate D2M, so latencies are larger."""
+        tree = two_level_tree()
+        d2m = GoldenTimer(library_cls1, wire_metric="d2m").latencies(tree)
+        elm = GoldenTimer(library_cls1, wire_metric="elmore").latencies(tree)
+        for sink in tree.sinks():
+            assert elm["c0"][sink] >= d2m["c0"][sink] - 1e-9
+
+    def test_invalid_metric_rejected(self, library_cls1):
+        with pytest.raises(ValueError):
+            GoldenTimer(library_cls1, wire_metric="spice")
+
+    def test_time_tree_carries_pair_analysis(self, timer):
+        tree = two_level_tree()
+        sinks = tree.sinks()
+        pairs = [(sinks[0], sinks[1]), (sinks[0], sinks[2])]
+        result = timer.time_tree(tree, pairs)
+        assert set(result.skews.pair_variation) == set(pairs)
+        assert result.total_variation >= 0.0
+
+    def test_edge_decomposition_recorded(self, timer):
+        tree = two_level_tree()
+        timing = timer.analyze_corner(tree, timer.library.corners.nominal)
+        for nid in tree.node_ids():
+            if tree.parent(nid) is not None:
+                assert nid in timing.edge_delay
+                assert timing.edge_delay[nid] >= 0.0

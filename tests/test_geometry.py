@@ -1,0 +1,147 @@
+"""Geometry primitives: Manhattan metrics, bounding boxes, polylines."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    BBox,
+    COMPASS_DIRECTIONS,
+    Point,
+    compass_offset,
+    hpwl,
+    interpolate_along,
+    path_length,
+    uniform_points_between,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_manhattan_basic(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7.0
+
+    def test_euclidean_basic(self):
+        assert Point(0, 0).euclidean(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    @given(points, points)
+    def test_manhattan_symmetric(self, a, b):
+        assert a.manhattan(b) == pytest.approx(b.manhattan(a))
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert a.manhattan(c) <= a.manhattan(b) + b.manhattan(c) + 1e-6
+
+    @given(points, points)
+    def test_euclidean_bounds_manhattan(self, a, b):
+        # d2 <= d1 <= sqrt(2) * d2 in the plane.
+        d1 = a.manhattan(b)
+        d2 = a.euclidean(b)
+        assert d2 <= d1 + 1e-6
+        assert d1 <= math.sqrt(2) * d2 + 1e-6
+
+
+class TestCompass:
+    def test_all_eight_directions(self):
+        assert len(COMPASS_DIRECTIONS) == 8
+
+    def test_cardinal_offsets(self):
+        assert compass_offset("N", 10.0) == (0.0, 10.0)
+        assert compass_offset("SW", 10.0) == (-10.0, -10.0)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            compass_offset("UP", 10.0)
+
+
+class TestBBox:
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(1.0, 0.0, 0.0, 1.0)
+
+    def test_area_and_half_perimeter(self):
+        box = BBox(0, 0, 4, 2)
+        assert box.area == 8.0
+        assert box.half_perimeter == 6.0
+
+    def test_aspect_ratio_at_most_one(self):
+        assert BBox(0, 0, 10, 2).aspect_ratio == pytest.approx(0.2)
+        assert BBox(0, 0, 3, 3).aspect_ratio == 1.0
+
+    def test_degenerate_aspect_ratio(self):
+        assert BBox(0, 0, 0, 0).aspect_ratio == 1.0
+
+    def test_contains_and_clamp(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains(Point(5, 5))
+        assert not box.contains(Point(11, 5))
+        assert box.clamp(Point(11, -2)) == Point(10, 0)
+
+    def test_of_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BBox.of_points([])
+
+    @given(st.lists(points, min_size=1, max_size=12))
+    def test_of_points_contains_all(self, pts):
+        box = BBox.of_points(pts)
+        assert all(box.contains(p, tol=1e-9) for p in pts)
+
+    def test_inflated(self):
+        box = BBox(0, 0, 2, 2).inflated(1.0)
+        assert (box.xlo, box.ylo, box.xhi, box.yhi) == (-1, -1, 3, 3)
+
+
+class TestPolylines:
+    def test_path_length_l_shape(self):
+        assert path_length([Point(0, 0), Point(3, 0), Point(3, 4)]) == 7.0
+
+    def test_hpwl_matches_bbox(self):
+        assert hpwl([Point(0, 0), Point(3, 4), Point(1, 1)]) == 7.0
+
+    def test_hpwl_single_point(self):
+        assert hpwl([Point(5, 5)]) == 0.0
+
+    def test_interpolate_endpoints(self):
+        poly = [Point(0, 0), Point(10, 0)]
+        assert interpolate_along(poly, 0.0) == Point(0, 0)
+        assert interpolate_along(poly, 1.0) == Point(10, 0)
+
+    def test_interpolate_midpoint_of_l(self):
+        poly = [Point(0, 0), Point(4, 0), Point(4, 4)]
+        mid = interpolate_along(poly, 0.5)
+        assert mid == Point(4, 0)
+
+    def test_uniform_points_are_evenly_spaced(self):
+        pts = uniform_points_between(Point(0, 0), Point(30, 0), 2)
+        assert pts == [Point(10, 0), Point(20, 0)]
+
+    def test_uniform_points_via_detour(self):
+        pts = uniform_points_between(
+            Point(0, 0), Point(10, 0), 1, via=(Point(0, 5), Point(10, 5))
+        )
+        # Route length 10 + 2*5 = 20; midpoint is 10 along: at (5, 5).
+        assert pts[0] == Point(5, 5)
+
+    def test_uniform_points_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            uniform_points_between(Point(0, 0), Point(1, 0), -1)
+
+    @given(points, points, st.integers(0, 6))
+    @settings(max_examples=40)
+    def test_uniform_points_on_route(self, a, b, count):
+        pts = uniform_points_between(a, b, count)
+        assert len(pts) == count
+        # Every point lies within the bounding box of the endpoints.
+        if count:
+            box = BBox.of_points([a, b])
+            assert all(box.contains(p, tol=1e-6) for p in pts)

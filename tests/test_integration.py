@@ -1,0 +1,107 @@
+"""Cross-module integration: the full pipeline on small deterministic seeds."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import SkewVariationProblem
+from repro.netlist.serialize import tree_from_json, tree_to_json
+from repro.sta.timer import GoldenTimer
+from repro.testcases.mini import build_mini
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        """Same seed -> identical baseline objective, bit for bit."""
+        a = SkewVariationProblem.create(build_mini(seed=3))
+        b = SkewVariationProblem.create(build_mini(seed=3))
+        assert a.baseline.total_variation == b.baseline.total_variation
+        assert a.baseline.skews.local_skew == b.baseline.skews.local_skew
+
+    def test_timer_idempotent(self, mini_design, mini_problem):
+        again = mini_problem.evaluate(mini_design.tree)
+        assert again.total_variation == pytest.approx(
+            mini_problem.baseline.total_variation, abs=1e-9
+        )
+
+
+class TestSerializationTiming:
+    def test_optimized_tree_roundtrip_times_identically(
+        self, mini_design, mini_problem
+    ):
+        """JSON round trip preserves ids, routing, and therefore timing."""
+        tree = mini_design.tree.clone()
+        # Perturb: resize one buffer and detour one sink edge.
+        buf = sorted(tree.buffers())[0]
+        tree.resize_buffer(buf, 16)
+        from repro.eco.router import reroute_edge
+
+        sink = tree.sinks()[0]
+        reroute_edge(tree, sink, tree.edge_length(sink) + 40.0, mini_design.region)
+
+        direct = mini_problem.evaluate(tree)
+        rebuilt = tree_from_json(tree_to_json(tree))
+        replay = mini_problem.evaluate(rebuilt)
+        assert replay.total_variation == pytest.approx(
+            direct.total_variation, abs=1e-9
+        )
+        for corner, lat in direct.latencies.items():
+            assert replay.latencies[corner] == lat
+
+
+class TestCornerConsistency:
+    def test_alpha_normalization_brings_corners_together(self, mini_problem):
+        """After alpha scaling, per-corner skew scales roughly align."""
+        base = mini_problem.baseline
+        alphas = base.skews.alphas
+        totals = {}
+        for corner, lat in base.latencies.items():
+            skews = [
+                abs(lat[a] - lat[b]) for a, b in mini_problem.pairs
+            ]
+            totals[corner] = alphas[corner] * float(np.sum(skews))
+        values = list(totals.values())
+        assert max(values) / min(values) < 1.05  # alphas equalize totals
+
+    def test_variation_lower_bound(self, mini_problem):
+        """Sum of variations >= variation of any single corner pair sum."""
+        base = mini_problem.baseline
+        corners = mini_problem.design.library.corners
+        alphas = base.skews.alphas
+        for ca, cb in corners.pairs():
+            per_pair = 0.0
+            for pair in mini_problem.pairs:
+                la = base.latencies[ca.name]
+                lb = base.latencies[cb.name]
+                sa = la[pair[0]] - la[pair[1]]
+                sb = lb[pair[0]] - lb[pair[1]]
+                per_pair += abs(alphas[ca.name] * sa - alphas[cb.name] * sb)
+            assert base.total_variation >= per_pair - 1e-6
+
+
+class TestMoveGoldenConsistency:
+    def test_clone_apply_evaluate_leaves_original_untouched(
+        self, mini_design, mini_problem
+    ):
+        from repro.core.moves import apply_move, enumerate_moves
+
+        before = mini_problem.baseline.total_variation
+        moves = enumerate_moves(mini_design.tree, mini_design.library)
+        trial = mini_design.tree.clone()
+        apply_move(trial, mini_design.legalizer, mini_design.library, moves[0])
+        mini_problem.evaluate(trial)
+        after = mini_problem.objective(mini_design.tree)
+        assert after == pytest.approx(before, abs=1e-9)
+
+    def test_elmore_metric_dominates_d2m_per_sink(self, mini_design):
+        """An Elmore-metric timer never reports a sink earlier than D2M.
+
+        (On a balanced tree the *ranking* of sinks is not stable across
+        metrics — latencies are deliberately near-tied — but the Elmore
+        bound holds sink by sink.)
+        """
+        lats = {}
+        for metric in ("elmore", "d2m"):
+            timer = GoldenTimer(mini_design.library, wire_metric=metric)
+            lats[metric] = timer.latencies(mini_design.tree)["c0"]
+        for sink, value in lats["elmore"].items():
+            assert value >= lats["d2m"][sink] - 1e-9

@@ -1,0 +1,75 @@
+"""Placement legalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eco.legalize import Legalizer
+from repro.geometry import BBox, Point
+from repro.netlist.tree import ClockTree
+
+
+@pytest.fixture()
+def setup():
+    region = BBox(0, 0, 100, 100)
+    legalizer = Legalizer(region=region, pitch_um=5.0)
+    tree = ClockTree()
+    src = tree.add_source(Point(0, 0))
+    b1 = tree.add_buffer(src, Point(50, 50), 8)
+    b2 = tree.add_buffer(src, Point(55, 50), 8)
+    return region, legalizer, tree, (src, b1, b2)
+
+
+class TestSnap:
+    def test_snap_to_grid(self, setup):
+        _, legalizer, _, _ = setup
+        assert legalizer.snap(Point(12.4, 47.6)) == Point(10, 50)
+
+    def test_snap_clamps_to_region(self, setup):
+        _, legalizer, _, _ = setup
+        snapped = legalizer.snap(Point(500, -20))
+        assert snapped == Point(100, 0)
+
+
+class TestLegalize:
+    def test_free_site_returned_directly(self, setup):
+        _, legalizer, tree, (_, b1, _) = setup
+        spot = legalizer.legalize(tree, b1, Point(20, 20))
+        assert spot == Point(20, 20)
+
+    def test_occupied_site_avoided(self, setup):
+        _, legalizer, tree, (_, b1, b2) = setup
+        # b1 sits at (50, 50); try to put b2 exactly there.
+        spot = legalizer.legalize(tree, b2, Point(50, 50))
+        assert spot != Point(50, 50)
+        # ...but nearby (one ring away on the 5um grid).
+        assert Point(50, 50).manhattan(spot) <= 10.0
+
+    def test_self_occupancy_ignored(self, setup):
+        _, legalizer, tree, (_, b1, _) = setup
+        # Legalizing b1 onto its own site must succeed in place.
+        spot = legalizer.legalize(tree, b1, tree.node(b1).location)
+        assert spot == tree.node(b1).location
+
+    def test_stays_in_region(self, setup):
+        region, legalizer, tree, (_, b1, _) = setup
+        spot = legalizer.legalize(tree, b1, Point(200, 200))
+        assert region.contains(spot)
+
+    @given(
+        st.floats(-30, 130, allow_nan=False),
+        st.floats(-30, 130, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_always_on_grid_and_free(self, x, y):
+        region = BBox(0, 0, 100, 100)
+        legalizer = Legalizer(region=region, pitch_um=5.0)
+        tree = ClockTree()
+        src = tree.add_source(Point(0, 0))
+        b1 = tree.add_buffer(src, Point(50, 50), 8)
+        b2 = tree.add_buffer(src, Point(25, 25), 8)
+        spot = legalizer.legalize(tree, b2, Point(x, y))
+        assert region.contains(spot)
+        assert spot.x % 5.0 == pytest.approx(0.0, abs=1e-9)
+        assert spot.y % 5.0 == pytest.approx(0.0, abs=1e-9)
+        assert spot != tree.node(b1).location or Point(x, y) != Point(50, 50)

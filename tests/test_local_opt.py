@@ -1,0 +1,104 @@
+"""Algorithm 2: predictor-guided local optimization."""
+
+import pytest
+
+from repro.core.local_opt import (
+    LocalOptConfig,
+    LocalOptimizer,
+    predicted_variation_reduction,
+    random_move_baseline,
+)
+from repro.core.ml.training import train_predictor
+
+
+@pytest.fixture(scope="module")
+def predictor(library_cls1):
+    """Analytical predictor: deterministic, no training time."""
+    return train_predictor(library_cls1, [], "full_rsmt_d2m")
+
+
+@pytest.fixture(scope="module")
+def local_result(mini_problem, predictor):
+    optimizer = LocalOptimizer(
+        mini_problem,
+        predictor,
+        LocalOptConfig(max_iterations=6, max_batches_per_iteration=2),
+    )
+    return optimizer.run()
+
+
+class TestLocalOpt:
+    def test_objective_never_worsens(self, local_result):
+        assert local_result.final_objective_ps <= local_result.initial_objective_ps
+
+    def test_some_improvement_found(self, local_result):
+        assert local_result.total_reduction_ps > 0.0
+
+    def test_history_monotone(self, local_result):
+        values = [h.objective_after_ps for h in local_result.history]
+        assert values == sorted(values, reverse=True)
+
+    def test_history_actual_reductions_positive(self, local_result):
+        assert all(h.actual_reduction_ps > 0 for h in local_result.history)
+
+    def test_result_tree_valid_and_detached(self, local_result, mini_design):
+        local_result.tree.validate()
+        # The design's own tree must be untouched.
+        assert mini_design.tree.total_wirelength() != pytest.approx(
+            local_result.tree.total_wirelength()
+        ) or len(mini_design.tree.buffers()) == len(local_result.tree.buffers())
+
+    def test_local_skew_not_degraded(self, local_result, mini_problem):
+        final = mini_problem.evaluate(local_result.tree)
+        assert not final.skews.degraded_local_skew(
+            mini_problem.baseline.skews, tol_ps=0.5
+        )
+
+    def test_buffer_cap_limits_enumeration(self, mini_problem, predictor):
+        optimizer = LocalOptimizer(
+            mini_problem,
+            predictor,
+            LocalOptConfig(max_iterations=1, buffers_per_iteration=3),
+        )
+        result = optimizer.run()
+        # Runs and terminates quickly with the reduced move pool.
+        assert result.final_objective_ps <= result.initial_objective_ps
+
+
+class TestPredictedReduction:
+    def test_zero_for_untouched_pairs(self, mini_problem, predictor):
+        from repro.core.ml.features import extract_features
+        from repro.core.moves import enumerate_moves
+
+        tree = mini_problem.design.tree
+        result = mini_problem.baseline
+        moves = enumerate_moves(tree, mini_problem.design.library)
+        feats = extract_features(
+            tree, mini_problem.design.library, result.per_corner, moves[0]
+        )
+        pred = predictor.predict_subtree_delta(feats)
+        zero_pred = {name: 0.0 for name in pred}
+        # A predicted zero latency change cannot change the objective...
+        # except through sibling corrections; force those to zero too by
+        # checking the no-op bound: reduction of exactly 0 when all deltas
+        # are zero.
+        from repro.core.ml.features import SIDE_EFFECT_VARIANT
+
+        side = feats.impacts[SIDE_EFFECT_VARIANT]
+        for name in side.old_siblings:
+            side.old_siblings[name] = 0.0
+            side.new_siblings[name] = 0.0
+        reduction = predicted_variation_reduction(
+            mini_problem, tree, result, feats, zero_pred
+        )
+        assert reduction == pytest.approx(0.0, abs=1e-9)
+
+
+@pytest.mark.slow
+class TestRandomBaseline:
+    def test_random_trace_monotone_nonincreasing(self, mini_problem):
+        trace = random_move_baseline(
+            mini_problem, mini_problem.design.tree, iterations=4, seed=5
+        )
+        assert len(trace) == 5
+        assert all(b <= a + 1e-9 for a, b in zip(trace, trace[1:]))

@@ -1,0 +1,114 @@
+"""The global LP (Equations (4)-(11))."""
+
+import numpy as np
+import pytest
+
+from repro.core.lp import (
+    GlobalSkewLP,
+    build_model_data,
+    sweep_upper_bound,
+)
+from repro.tech.ratio_bounds import fit_all_ratio_bounds
+
+
+@pytest.fixture(scope="module")
+def ratio_bounds(library_cls1):
+    return fit_all_ratio_bounds(library_cls1)
+
+
+@pytest.fixture(scope="module")
+def model_data(mini_design, mini_problem, stage_luts):
+    return build_model_data(
+        mini_design.tree,
+        mini_problem.timer,
+        mini_design.pairs,
+        mini_problem.alphas,
+        stage_luts,
+    )
+
+
+@pytest.fixture(scope="module")
+def lp(model_data, ratio_bounds):
+    return GlobalSkewLP(model_data, ratio_bounds)
+
+
+class TestModelData:
+    def test_shapes(self, model_data, mini_design):
+        n_arcs = len(model_data.arcs)
+        n_corners = len(model_data.corner_names)
+        assert model_data.arc_delay.shape == (n_arcs, n_corners)
+        assert model_data.arc_dmin.shape == (n_arcs, n_corners)
+        assert len(model_data.pair_coeffs) == len(mini_design.pairs)
+
+    def test_arc_delays_positive(self, model_data):
+        assert np.all(model_data.arc_delay > 0.0)
+
+    def test_dmin_not_above_measured(self, model_data):
+        """The minimal-buffering bound must leave room below (mostly).
+
+        Allow a small fraction of exceptions: very short arcs can already
+        be at their floor.
+        """
+        frac = np.mean(model_data.arc_dmin <= model_data.arc_delay + 1e-6)
+        assert frac > 0.6
+
+    def test_pair_coeffs_cancel_common_path(self, model_data, mini_design):
+        """Shared arcs between launch and capture paths must cancel."""
+        for coeff in model_data.pair_coeffs:
+            assert all(c in (1.0, -1.0) for c in coeff.values())
+
+    def test_pair_skew_consistency(self, model_data, mini_problem):
+        """Baseline pair skews match latency differences."""
+        for p, pair in enumerate(model_data.pairs):
+            for k, name in enumerate(model_data.corner_names):
+                lat = model_data.sink_latency0[name]
+                expected = lat[pair[0]] - lat[pair[1]]
+                assert model_data.pair_skew0[p, k] == pytest.approx(expected)
+
+
+class TestLP:
+    def test_variation_minimization_feasible(self, lp):
+        sol = lp.minimize_variation()
+        assert sol.feasible
+
+    def test_lp_bound_improves_on_baseline(self, lp, mini_problem):
+        sol = lp.minimize_variation()
+        assert sol.achieved_variation_bound < mini_problem.baseline.total_variation
+
+    def test_deltas_respect_eq10_bounds(self, lp, model_data):
+        sol = lp.minimize_variation()
+        beta = 1.2
+        new_delay = model_data.arc_delay + sol.delta
+        assert np.all(new_delay <= beta * model_data.arc_delay + 1e-6)
+        # Below: only where the arc was optimizable at all.
+        frozen = ~lp._optimizable
+        assert np.all(np.abs(sol.delta[frozen]) < 1e-9)
+
+    def test_minimize_changes_respects_bound(self, lp):
+        base = lp.minimize_variation()
+        target = base.achieved_variation_bound * 1.2 + 1.0
+        sol = lp.minimize_changes(target)
+        assert sol.feasible
+        assert sol.achieved_variation_bound <= target + 1e-6
+
+    def test_looser_bound_needs_fewer_changes(self, lp):
+        base = lp.minimize_variation()
+        tight = lp.minimize_changes(base.achieved_variation_bound * 1.02)
+        loose = lp.minimize_changes(base.achieved_variation_bound * 1.5)
+        assert loose.objective_abs_delta <= tight.objective_abs_delta + 1e-6
+
+    def test_sweep_returns_sorted_bounds(self, lp):
+        sols = sweep_upper_bound(lp, (1.0, 1.1, 1.3))
+        assert len(sols) == 3
+        bounds = [u for u, _ in sols]
+        assert bounds == sorted(bounds)
+
+    def test_nonzero_arcs_threshold(self, lp):
+        sol = lp.minimize_variation()
+        few = sol.nonzero_arcs(threshold_ps=50.0)
+        many = sol.nonzero_arcs(threshold_ps=0.1)
+        assert set(few) <= set(many)
+
+    def test_some_arcs_frozen_some_free(self, lp, model_data):
+        """Mini has both buffered arcs (on-manifold) and wire stubs."""
+        assert 0 < lp.optimizable_arc_count < len(model_data.arcs)

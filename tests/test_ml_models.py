@@ -1,0 +1,139 @@
+"""The three regressor families: ANN, RBF-kernel SVR, HSM."""
+
+import numpy as np
+import pytest
+
+from repro.core.ml.ann import ANNConfig, ANNRegressor
+from repro.core.ml.hsm import HybridSurrogateModel, kfold_mse
+from repro.core.ml.svr import RBFKernelSVR, SVRConfig
+
+
+def toy_problem(n=200, seed=0, noise=0.05):
+    """Smooth nonlinear target on 3 features."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = (
+        2.0 * x[:, 0]
+        - 1.5 * x[:, 1] ** 2
+        + np.sin(3.0 * x[:, 2])
+        + rng.normal(0, noise, n)
+    )
+    return x, y
+
+
+class TestANN:
+    def test_fits_nonlinear_function(self):
+        x, y = toy_problem()
+        model = ANNRegressor(ANNConfig(max_epochs=200, seed=1))
+        model.fit(x, y)
+        pred = model.predict(x)
+        mse = float(np.mean((pred - y) ** 2))
+        assert mse < 0.15 * float(np.var(y))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            ANNRegressor().predict(np.zeros((1, 3)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ANNRegressor().fit(np.zeros(5), np.zeros(5))
+
+    def test_deterministic_given_seed(self):
+        x, y = toy_problem(n=80)
+        cfg = ANNConfig(max_epochs=50, seed=3)
+        a = ANNRegressor(cfg).fit(x, y).predict(x[:5])
+        b = ANNRegressor(cfg).fit(x, y).predict(x[:5])
+        assert np.allclose(a, b)
+
+    def test_constant_feature_tolerated(self):
+        x, y = toy_problem(n=60)
+        x = np.hstack([x, np.ones((len(x), 1))])
+        model = ANNRegressor(ANNConfig(max_epochs=30))
+        model.fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+
+
+class TestSVR:
+    def test_fits_nonlinear_function(self):
+        x, y = toy_problem()
+        model = RBFKernelSVR(SVRConfig(alpha=0.1))
+        model.fit(x, y)
+        mse = float(np.mean((model.predict(x) - y) ** 2))
+        assert mse < 0.1 * float(np.var(y))
+
+    def test_interpolates_training_points_with_small_alpha(self):
+        x, y = toy_problem(n=50, noise=0.0)
+        model = RBFKernelSVR(SVRConfig(alpha=1e-6))
+        model.fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=0.05)
+
+    def test_regularization_smooths(self):
+        x, y = toy_problem(n=60, noise=0.5)
+        tight = RBFKernelSVR(SVRConfig(alpha=1e-6)).fit(x, y)
+        smooth = RBFKernelSVR(SVRConfig(alpha=10.0)).fit(x, y)
+        res_tight = float(np.mean((tight.predict(x) - y) ** 2))
+        res_smooth = float(np.mean((smooth.predict(x) - y) ** 2))
+        assert res_tight < res_smooth
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RBFKernelSVR().predict(np.zeros((1, 3)))
+
+    def test_explicit_gamma(self):
+        x, y = toy_problem(n=50)
+        model = RBFKernelSVR(SVRConfig(gamma=0.5)).fit(x, y)
+        assert model._gamma == 0.5
+
+
+class TestHSM:
+    def factories(self):
+        return [
+            ("svr", lambda: RBFKernelSVR(SVRConfig(alpha=0.1))),
+            ("ann", lambda: ANNRegressor(ANNConfig(max_epochs=40, seed=2))),
+        ]
+
+    def test_weights_sum_to_one(self):
+        x, y = toy_problem(n=120)
+        hsm = HybridSurrogateModel(self.factories()).fit(x, y)
+        assert sum(hsm.weights) == pytest.approx(1.0)
+        assert len(hsm.weights) == 2
+
+    def test_blend_tracks_target(self):
+        x, y = toy_problem(n=150)
+        hsm = HybridSurrogateModel(self.factories()).fit(x, y)
+        mse = float(np.mean((hsm.predict(x) - y) ** 2))
+        assert mse < 0.2 * float(np.var(y))
+
+    def test_better_model_gets_more_weight(self):
+        x, y = toy_problem(n=150, noise=0.01)
+
+        class Bad:
+            def fit(self, x, y):
+                return self
+
+            def predict(self, x):
+                return np.zeros(len(np.atleast_2d(x)))
+
+        hsm = HybridSurrogateModel(
+            [
+                ("svr", lambda: RBFKernelSVR(SVRConfig(alpha=0.1))),
+                ("bad", Bad),
+            ]
+        ).fit(x, y)
+        weights = dict(zip(hsm.component_names(), hsm.weights))
+        assert weights["svr"] > 0.9
+
+    def test_empty_factories_rejected(self):
+        with pytest.raises(ValueError):
+            HybridSurrogateModel([])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            HybridSurrogateModel(self.factories()).predict(np.zeros((1, 3)))
+
+    def test_kfold_mse_reasonable(self):
+        x, y = toy_problem(n=100)
+        mse = kfold_mse(
+            lambda: RBFKernelSVR(SVRConfig(alpha=0.1)), x, y, folds=4, seed=0
+        )
+        assert 0.0 < mse < float(np.var(y))

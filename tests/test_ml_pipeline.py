@@ -1,0 +1,165 @@
+"""Feature extraction, dataset generation, and predictor training."""
+
+import numpy as np
+import pytest
+
+from repro.core.ml.dataset import (
+    dataset_arrays,
+    generate_case,
+    generate_dataset,
+)
+from repro.core.ml.features import (
+    ESTIMATOR_VARIANTS,
+    FEATURE_NAMES,
+    extract_features,
+    feature_matrix,
+)
+from repro.core.ml.training import (
+    ANALYTICAL_KINDS,
+    AccuracyReport,
+    evaluate_predictor,
+    train_predictor,
+)
+from repro.core.moves import enumerate_moves
+from repro.sta.timer import GoldenTimer
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(library_cls1):
+    return generate_dataset(
+        library_cls1, n_cases=6, moves_per_case=8, seed=21
+    )
+
+
+class TestArtificialCases:
+    def test_case_in_paper_parameter_ranges(self, library_cls1):
+        rng = np.random.default_rng(4)
+        case = generate_case(library_cls1, rng, last_stage=False)
+        case.tree.validate()
+        fanout = len(case.tree.children(case.target_buffer))
+        assert 1 <= fanout <= 5
+
+    def test_last_stage_case_fanout(self, library_cls1):
+        rng = np.random.default_rng(4)
+        case = generate_case(library_cls1, rng, last_stage=True)
+        fanout = len(case.tree.children(case.target_buffer))
+        # Last-stage range covers the paper's 20-40 plus the smaller leaf
+        # clusters our scaled CTS emits.
+        assert 6 <= fanout <= 40
+
+    def test_tree_case_targets_real_buffer(self, library_cls1):
+        from repro.core.ml.dataset import generate_tree_case
+
+        rng = np.random.default_rng(4)
+        case = generate_tree_case(library_cls1, rng)
+        case.tree.validate()
+        assert case.target_buffer in case.tree.buffers()
+
+
+class TestFeatures:
+    def test_vector_length_matches_names(self, library_cls1):
+        rng = np.random.default_rng(6)
+        case = generate_case(library_cls1, rng)
+        timer = GoldenTimer(library_cls1)
+        timings = {
+            c.name: timer.analyze_corner(case.tree, c)
+            for c in library_cls1.corners
+        }
+        moves = enumerate_moves(case.tree, library_cls1, [case.target_buffer])
+        feats = extract_features(case.tree, library_cls1, timings, moves[0])
+        for corner in library_cls1.corners:
+            assert feats.vector(corner.name).shape == (len(FEATURE_NAMES),)
+
+    def test_all_variants_present(self, tiny_dataset):
+        feats = tiny_dataset[0].features
+        for variant in ESTIMATOR_VARIANTS:
+            assert variant in feats.impacts
+
+    def test_feature_matrix_stacks(self, tiny_dataset):
+        x = feature_matrix([s.features for s in tiny_dataset[:5]], "c0")
+        assert x.shape == (5, len(FEATURE_NAMES))
+
+
+class TestDataset:
+    def test_sample_count(self, tiny_dataset):
+        assert len(tiny_dataset) == 6 * 8
+
+    def test_targets_finite_all_corners(self, tiny_dataset, library_cls1):
+        for sample in tiny_dataset:
+            for corner in library_cls1.corners:
+                assert np.isfinite(sample.target[corner.name])
+
+    def test_targets_nontrivial(self, tiny_dataset):
+        y = np.asarray([s.target["c0"] for s in tiny_dataset])
+        assert np.std(y) > 0.5  # moves actually change latency
+
+    def test_arrays(self, tiny_dataset):
+        x, y = dataset_arrays(tiny_dataset, "c1")
+        assert len(x) == len(y) == len(tiny_dataset)
+
+    def test_deterministic(self, library_cls1):
+        a = generate_dataset(library_cls1, n_cases=2, moves_per_case=4, seed=9)
+        b = generate_dataset(library_cls1, n_cases=2, moves_per_case=4, seed=9)
+        assert [s.target for s in a] == [s.target for s in b]
+
+
+class TestTraining:
+    def test_learned_predictor_beats_trivial(self, tiny_dataset, library_cls1):
+        split = int(len(tiny_dataset) * 0.75)
+        predictor = train_predictor(library_cls1, tiny_dataset[:split], "svr")
+        reports = evaluate_predictor(predictor, tiny_dataset[split:])
+        for name, report in reports.items():
+            trivial = np.mean(np.abs(np.asarray(report.actual)))
+            assert report.mean_abs_error_ps < trivial * 1.5
+
+    def test_analytical_kinds_need_no_data(self, library_cls1):
+        for kind in ANALYTICAL_KINDS:
+            predictor = train_predictor(library_cls1, [], kind)
+            assert not predictor.is_learned
+
+    def test_analytical_prediction_reads_wire_only_impact(
+        self, tiny_dataset, library_cls1
+    ):
+        """Figure-6 analytical comparators are the raw wire-delay deltas."""
+        predictor = train_predictor(library_cls1, [], "rsmt_d2m")
+        sample = tiny_dataset[0]
+        pred = predictor.predict_subtree_delta(sample.features)
+        impact = sample.features.impacts[("rsmt", "d2m")]
+        for name, value in pred.items():
+            assert value == impact.subtree_wire_only[name]
+
+    def test_unknown_kind_rejected(self, library_cls1):
+        with pytest.raises(ValueError):
+            train_predictor(library_cls1, [], "forest")
+
+    def test_full_analytical_reads_full_pipeline(self, tiny_dataset, library_cls1):
+        """``full_*`` kinds use Liberty/PERI-updated estimates."""
+        predictor = train_predictor(library_cls1, [], "full_rsmt_d2m")
+        assert not predictor.is_learned
+        sample = tiny_dataset[0]
+        pred = predictor.predict_subtree_delta(sample.features)
+        impact = sample.features.impacts[("rsmt", "d2m")]
+        for name, value in pred.items():
+            assert value == impact.subtree[name]
+
+    def test_learned_requires_samples(self, library_cls1):
+        with pytest.raises(ValueError):
+            train_predictor(library_cls1, [], "svr")
+
+    def test_predict_batch_matches_single(self, tiny_dataset, library_cls1):
+        predictor = train_predictor(library_cls1, tiny_dataset, "svr")
+        feats = [s.features for s in tiny_dataset[:4]]
+        batch = predictor.predict_batch(feats)
+        for f, row in zip(feats, batch):
+            single = predictor.predict_subtree_delta(f)
+            for name in single:
+                assert single[name] == pytest.approx(row[name], abs=1e-9)
+
+    def test_accuracy_report_stats(self):
+        report = AccuracyReport(
+            corner_name="c0",
+            predicted=(10.0, 20.0, 30.0),
+            actual=(12.0, 18.0, 33.0),
+        )
+        assert report.mean_abs_error_ps == pytest.approx((2 + 2 + 3) / 3)
+        assert len(report.percent_errors) == 3

@@ -1,0 +1,124 @@
+"""Table-2 candidate move enumeration and application."""
+
+import pytest
+
+from repro.core.moves import (
+    Move,
+    MoveType,
+    apply_move,
+    enumerate_moves,
+    surgery_candidates,
+)
+from repro.geometry import Point
+from repro.netlist.tree import ClockTree
+
+
+def move_tree():
+    """Two parallel leaf buffers at the same level, close together."""
+    t = ClockTree()
+    src = t.add_source(Point(0, 0))
+    top = t.add_buffer(src, Point(100, 100), 16)
+    a = t.add_buffer(top, Point(120, 110), 8)
+    b = t.add_buffer(top, Point(130, 95), 8)
+    child = t.add_buffer(a, Point(150, 120), 4)
+    t.add_sink(child, Point(170, 125))
+    t.add_sink(a, Point(140, 130))
+    t.add_sink(b, Point(150, 90))
+    return t, dict(src=src, top=top, a=a, b=b, child=child)
+
+
+class TestEnumeration:
+    def test_type1_count_for_midsize_buffer(self, library):
+        t, n = move_tree()
+        moves = enumerate_moves(t, library, buffers=[n["b"]])
+        type1 = [m for m in moves if m.type is MoveType.SIZING_DISPLACE]
+        # 8 directions x 2 size steps (X8 can go both ways).
+        assert len(type1) == 16
+
+    def test_type1_clamped_at_size_extremes(self, library):
+        t, n = move_tree()
+        t.resize_buffer(n["b"], 32)  # only down-sizing possible
+        moves = enumerate_moves(t, library, buffers=[n["b"]])
+        type1 = [m for m in moves if m.type is MoveType.SIZING_DISPLACE]
+        assert len(type1) == 8
+        assert all(m.size_step == -1 for m in type1)
+
+    def test_type2_requires_child_buffer(self, library):
+        t, n = move_tree()
+        moves_a = enumerate_moves(t, library, buffers=[n["a"]])
+        moves_b = enumerate_moves(t, library, buffers=[n["b"]])
+        assert any(m.type is MoveType.CHILD_SIZING for m in moves_a)
+        assert not any(m.type is MoveType.CHILD_SIZING for m in moves_b)
+
+    def test_type3_same_level_in_window(self, library):
+        t, n = move_tree()
+        cands = surgery_candidates(t, n["child"], window_um=50.0)
+        # child's driver is `a`; `b` is at the same level and nearby.
+        assert cands == [n["b"]]
+
+    def test_type3_excludes_own_subtree_and_parent(self, library):
+        t, n = move_tree()
+        cands = surgery_candidates(t, n["a"], window_um=1000.0)
+        assert n["a"] not in cands
+        assert n["child"] not in cands
+        assert n["top"] not in cands  # top is the current driver
+
+    def test_window_limits_candidates(self, library):
+        t, n = move_tree()
+        none = surgery_candidates(t, n["child"], window_um=1.0)
+        assert none == []
+
+    def test_all_buffers_by_default(self, library):
+        t, _ = move_tree()
+        moves = enumerate_moves(t, library)
+        touched = {m.buffer for m in moves}
+        assert touched == set(t.buffers())
+
+
+class TestApplication:
+    @pytest.fixture()
+    def ctx(self, library):
+        from repro.eco.legalize import Legalizer
+        from repro.geometry import BBox
+
+        t, n = move_tree()
+        legalizer = Legalizer(region=BBox(0, 0, 300, 300), pitch_um=2.5)
+        return t, n, legalizer, library
+
+    def test_apply_type1(self, ctx):
+        t, n, legalizer, library = ctx
+        move = Move(
+            type=MoveType.SIZING_DISPLACE, buffer=n["b"], dx=10, dy=0, size_step=1
+        )
+        apply_move(t, legalizer, library, move)
+        assert t.node(n["b"]).size == 16
+        assert t.node(n["b"]).location.x > 125.0
+        t.validate()
+
+    def test_apply_type2(self, ctx):
+        t, n, legalizer, library = ctx
+        move = Move(
+            type=MoveType.CHILD_SIZING,
+            buffer=n["a"],
+            dx=0,
+            dy=10,
+            child=n["child"],
+            child_size_step=1,
+        )
+        apply_move(t, legalizer, library, move)
+        assert t.node(n["child"]).size == 8
+        assert t.node(n["a"]).size == 8  # unchanged
+        t.validate()
+
+    def test_apply_type3(self, ctx):
+        t, n, legalizer, library = ctx
+        move = Move(type=MoveType.SURGERY, buffer=n["child"], new_parent=n["b"])
+        apply_move(t, legalizer, library, move)
+        assert t.parent(n["child"]) == n["b"]
+        t.validate()
+
+    def test_describe_strings(self):
+        m1 = Move(MoveType.SIZING_DISPLACE, 5, dx=10, dy=-10, size_step=-1)
+        assert "I:" in m1.describe()
+        m3 = Move(MoveType.SURGERY, 5, new_parent=9)
+        assert "III" in m3.describe()

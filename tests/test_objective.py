@@ -1,0 +1,49 @@
+"""The Skew Variation Reduction Problem wrapper."""
+
+import pytest
+
+from repro.core.objective import SkewVariationProblem
+
+
+class TestProblem:
+    def test_baseline_frozen(self, mini_problem):
+        assert mini_problem.baseline.total_variation > 0.0
+        assert mini_problem.alphas["c0"] == 1.0
+
+    def test_evaluate_identity(self, mini_problem, mini_design):
+        again = mini_problem.evaluate(mini_design.tree)
+        assert again.total_variation == pytest.approx(
+            mini_problem.baseline.total_variation
+        )
+
+    def test_objective_shortcut(self, mini_problem, mini_design):
+        assert mini_problem.objective(mini_design.tree) == pytest.approx(
+            mini_problem.baseline.total_variation
+        )
+
+    def test_evaluate_uses_baseline_alphas(self, mini_problem, mini_design):
+        """A modified tree is measured on the baseline's scale."""
+        tree = mini_design.tree.clone()
+        buf = tree.buffers()[0]
+        tree.resize_buffer(buf, 32)
+        result = mini_problem.evaluate(tree)
+        assert result.skews.alphas == mini_problem.alphas
+
+    def test_reduction_percent(self, mini_problem):
+        base = mini_problem.baseline
+        assert mini_problem.reduction_percent(base) == pytest.approx(0.0)
+
+    def test_accepts_baseline(self, mini_problem):
+        assert mini_problem.accepts(mini_problem.baseline)
+
+    def test_rejects_degraded_local_skew(self, mini_problem, mini_design):
+        """Detouring one sink's edge hard degrades local skew -> reject."""
+        tree = mini_design.tree.clone()
+        sink = tree.sinks()[0]
+        from repro.eco.router import reroute_edge
+
+        reroute_edge(
+            tree, sink, tree.edge_length(sink) + 800.0, mini_design.region
+        )
+        result = mini_problem.evaluate(tree)
+        assert not mini_problem.accepts(result)

@@ -1,0 +1,193 @@
+"""ECO operators: displacement, sizing, surgery, arc rebuilds."""
+
+import pytest
+
+from repro.eco.legalize import Legalizer
+from repro.eco.operators import (
+    apply_displacement,
+    apply_sizing,
+    apply_tree_surgery,
+    rebuild_arc,
+)
+from repro.eco.router import reroute_edge
+from repro.geometry import BBox, Point
+from repro.netlist.arcs import extract_arcs
+from repro.netlist.tree import ClockTree
+
+
+@pytest.fixture()
+def ctx():
+    region = BBox(0, 0, 600, 600)
+    legalizer = Legalizer(region=region, pitch_um=5.0)
+    tree = ClockTree()
+    src = tree.add_source(Point(0, 300))
+    top = tree.add_buffer(src, Point(100, 300), 16)
+    mid = tree.add_buffer(top, Point(250, 300), 8)
+    leaf = tree.add_buffer(mid, Point(400, 300), 8)
+    s1 = tree.add_sink(leaf, Point(450, 320))
+    s2 = tree.add_sink(leaf, Point(450, 280))
+    s3 = tree.add_sink(leaf, Point(430, 340))
+    return region, legalizer, tree, dict(
+        src=src, top=top, mid=mid, leaf=leaf, s1=s1, s2=s2, s3=s3
+    )
+
+
+class TestDisplacement:
+    def test_moves_and_legalizes(self, ctx):
+        _, legalizer, tree, n = ctx
+        new_loc = apply_displacement(tree, legalizer, n["mid"], 10.0, -10.0)
+        assert tree.node(n["mid"]).location == new_loc
+        assert new_loc.x % 5.0 == 0.0
+
+    def test_clears_vias(self, ctx):
+        region, legalizer, tree, n = ctx
+        reroute_edge(tree, n["mid"], 300.0, region)
+        assert tree.node(n["mid"]).via
+        apply_displacement(tree, legalizer, n["mid"], 10.0, 0.0)
+        assert tree.node(n["mid"]).via == ()
+
+
+class TestSizingAndSurgery:
+    def test_sizing(self, ctx):
+        _, _, tree, n = ctx
+        apply_sizing(tree, n["leaf"], 16)
+        assert tree.node(n["leaf"]).size == 16
+
+    def test_surgery_rewires(self, ctx):
+        _, _, tree, n = ctx
+        apply_tree_surgery(tree, n["s3"], n["mid"])
+        assert tree.parent(n["s3"]) == n["mid"]
+        tree.validate()
+
+
+class TestRebuildArc:
+    def arc_between(self, tree, start, end):
+        arcs = extract_arcs(tree)
+        return next(a for a in arcs if a.start == start and a.end == end)
+
+    def test_rebuild_replaces_interior(self, ctx):
+        region, legalizer, tree, n = ctx
+        arc = self.arc_between(tree, n["src"], n["leaf"])
+        assert arc.interior == (n["top"], n["mid"])
+        result = rebuild_arc(
+            tree,
+            legalizer,
+            arc.start,
+            arc.end,
+            arc.interior,
+            size=16,
+            pair_count=3,
+            spacing_um=100.0,
+            region=region,
+        )
+        tree.validate()
+        assert len(result.inserted_ids) == 3
+        assert n["top"] not in tree and n["mid"] not in tree
+        # New chain threads from src to leaf.
+        path = tree.path_to_root(n["leaf"])
+        assert all(nid in path for nid in result.inserted_ids)
+
+    def test_rebuild_zero_pairs_is_wire_only(self, ctx):
+        region, legalizer, tree, n = ctx
+        arc = self.arc_between(tree, n["src"], n["leaf"])
+        result = rebuild_arc(
+            tree,
+            legalizer,
+            arc.start,
+            arc.end,
+            arc.interior,
+            size=8,
+            pair_count=0,
+            spacing_um=50.0,
+            region=region,
+        )
+        assert result.pair_count == 0
+        assert tree.parent(n["leaf"]) == n["src"]
+        tree.validate()
+
+    def test_wire_target_realizes_detour(self, ctx):
+        region, legalizer, tree, n = ctx
+        arc = self.arc_between(tree, n["src"], n["leaf"])
+        direct = tree.node(n["src"]).location.manhattan(
+            tree.node(n["leaf"]).location
+        )
+        result = rebuild_arc(
+            tree,
+            legalizer,
+            arc.start,
+            arc.end,
+            arc.interior,
+            size=8,
+            pair_count=0,
+            spacing_um=50.0,
+            region=region,
+            wire_target_um=direct + 120.0,
+        )
+        assert result.route_length_um == pytest.approx(direct + 120.0, abs=5.0)
+
+    def test_detour_when_chain_exceeds_direct(self, ctx):
+        region, legalizer, tree, n = ctx
+        arc = self.arc_between(tree, n["src"], n["leaf"])
+        direct = tree.node(n["src"]).location.manhattan(
+            tree.node(n["leaf"]).location
+        )
+        result = rebuild_arc(
+            tree,
+            legalizer,
+            arc.start,
+            arc.end,
+            arc.interior,
+            size=8,
+            pair_count=4,
+            spacing_um=150.0,  # chain 5*150 = 750 > direct 400
+            region=region,
+        )
+        tree.validate()
+        assert result.route_length_um > direct * 1.3
+
+    def test_bad_interior_rejected(self, ctx):
+        region, legalizer, tree, n = ctx
+        with pytest.raises(ValueError):
+            rebuild_arc(
+                tree,
+                legalizer,
+                n["src"],
+                n["leaf"],
+                interior=(n["top"],),  # missing mid
+                size=8,
+                pair_count=1,
+                spacing_um=50.0,
+                region=region,
+            )
+
+    def test_invalid_args_rejected(self, ctx):
+        region, legalizer, tree, n = ctx
+        arc = self.arc_between(tree, n["src"], n["leaf"])
+        with pytest.raises(ValueError):
+            rebuild_arc(
+                tree, legalizer, arc.start, arc.end, arc.interior,
+                size=8, pair_count=-1, spacing_um=50.0,
+            )
+        with pytest.raises(ValueError):
+            rebuild_arc(
+                tree, legalizer, arc.start, arc.end, arc.interior,
+                size=8, pair_count=1, spacing_um=0.0,
+            )
+
+
+class TestRerouteEdge:
+    def test_direct_when_target_short(self, ctx):
+        region, _, tree, n = ctx
+        realized = reroute_edge(tree, n["mid"], 10.0, region)
+        assert realized == pytest.approx(150.0)  # manhattan distance
+        assert tree.node(n["mid"]).via == ()
+
+    def test_detour_length(self, ctx):
+        region, _, tree, n = ctx
+        realized = reroute_edge(tree, n["mid"], 250.0, region)
+        assert realized == pytest.approx(250.0, abs=4.0)
+
+    def test_root_edge_rejected(self, ctx):
+        region, _, tree, n = ctx
+        with pytest.raises(ValueError):
+            reroute_edge(tree, n["src"], 100.0, region)

@@ -1,0 +1,34 @@
+"""Top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_lazy_exports_resolve():
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert getattr(repro, name) is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_dir_lists_exports():
+    assert "GoldenTimer" in dir(repro)
+    assert "build_cls1" in dir(repro)
+
+
+def test_quickstart_types_compose(mini_design):
+    """The objects named in the module docstring wire together."""
+    problem = repro.SkewVariationProblem.create(mini_design)
+    assert problem.baseline.total_variation > 0
+    timer = repro.GoldenTimer(mini_design.library)
+    assert timer.library is mini_design.library

@@ -1,0 +1,92 @@
+"""RC tree container invariants."""
+
+import pytest
+
+from repro.rc import RCTree
+
+
+def chain(n: int, res: float = 1.0, cap: float = 1.0) -> RCTree:
+    tree = RCTree()
+    tree.add_root("n0")
+    for i in range(1, n + 1):
+        tree.add_node(f"n{i}", f"n{i-1}", res_kohm=res, cap_ff=cap)
+    return tree
+
+
+class TestConstruction:
+    def test_root_required_first(self):
+        tree = RCTree()
+        with pytest.raises(ValueError):
+            tree.root
+
+    def test_double_root_rejected(self):
+        tree = RCTree()
+        tree.add_root("a")
+        with pytest.raises(ValueError):
+            tree.add_root("b")
+
+    def test_duplicate_node_rejected(self):
+        tree = chain(2)
+        with pytest.raises(ValueError):
+            tree.add_node("n1", "n0", 1.0, 1.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = chain(1)
+        with pytest.raises(ValueError):
+            tree.add_node("x", "nope", 1.0, 1.0)
+
+    def test_negative_rc_rejected(self):
+        tree = chain(1)
+        with pytest.raises(ValueError):
+            tree.add_node("x", "n0", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            tree.add_cap("n0", -0.5)
+
+    def test_contains_and_len(self):
+        tree = chain(3)
+        assert "n2" in tree
+        assert len(tree) == 4
+
+
+class TestStructure:
+    def test_topological_root_first(self):
+        tree = chain(3)
+        order = tree.nodes_topological()
+        assert order[0] == "n0"
+        assert order[-1] == "n3"
+
+    def test_total_cap(self):
+        tree = chain(3, cap=2.0)
+        assert tree.total_cap_ff() == pytest.approx(6.0)
+
+    def test_add_cap_accumulates(self):
+        tree = chain(1)
+        tree.add_cap("n1", 5.0)
+        assert tree.node("n1").cap_ff == pytest.approx(6.0)
+
+    def test_downstream_caps_chain(self):
+        tree = chain(2, cap=1.0)
+        down = tree.downstream_caps()
+        assert down["n2"] == pytest.approx(1.0)
+        assert down["n1"] == pytest.approx(2.0)
+        assert down["n0"] == pytest.approx(2.0)
+
+    def test_downstream_caps_branching(self):
+        tree = RCTree()
+        tree.add_root("r")
+        tree.add_node("a", "r", 1.0, 2.0)
+        tree.add_node("b", "r", 1.0, 3.0)
+        tree.add_node("a1", "a", 1.0, 4.0)
+        down = tree.downstream_caps()
+        assert down["a"] == pytest.approx(6.0)
+        assert down["r"] == pytest.approx(9.0)
+
+    def test_children(self):
+        tree = RCTree()
+        tree.add_root("r")
+        tree.add_node("a", "r", 1.0, 1.0)
+        tree.add_node("b", "r", 1.0, 1.0)
+        assert set(tree.children("r")) == {"a", "b"}
+
+    def test_validate_ok(self):
+        chain(5).validate()

@@ -1,0 +1,108 @@
+"""Clock-tree serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.geometry import Point
+from repro.netlist.serialize import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_json,
+)
+from repro.netlist.tree import ClockTree
+
+
+def build_sample():
+    t = ClockTree()
+    src = t.add_source(Point(0, 0))
+    b1 = t.add_buffer(src, Point(50, 0), 16)
+    b2 = t.add_buffer(b1, Point(100, 40), 8)
+    t.add_sink(b2, Point(120, 50))
+    t.add_sink(b2, Point(130, 30))
+    t.set_edge_via(b2, [Point(60, 40)])
+    return t
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        original = build_sample()
+        rebuilt = tree_from_dict(tree_to_dict(original))
+        assert rebuilt.node_ids() == original.node_ids()
+        for nid in original.node_ids():
+            a, b = original.node(nid), rebuilt.node(nid)
+            assert (a.kind, a.location, a.size, a.via) == (
+                b.kind,
+                b.location,
+                b.size,
+                b.via,
+            )
+            assert original.parent(nid) == rebuilt.parent(nid)
+
+    def test_round_trip_after_mutations(self):
+        """Gappy, out-of-order ids (post-optimization) survive."""
+        t = build_sample()
+        b_new = t.insert_buffer_on_edge(t.sinks()[0], Point(110, 45), 4)
+        t.remove_buffer(t.buffers()[0])  # splice one out -> id gap
+        rebuilt = tree_from_dict(tree_to_dict(t))
+        assert sorted(rebuilt.node_ids()) == sorted(t.node_ids())
+        assert rebuilt.node(b_new).size == 4
+        rebuilt.validate()
+
+    def test_json_round_trip(self):
+        original = build_sample()
+        text = tree_to_json(original)
+        json.loads(text)  # valid JSON
+        rebuilt = tree_from_json(text)
+        assert rebuilt.total_wirelength() == pytest.approx(
+            original.total_wirelength()
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_sample()
+        path = tmp_path / "tree.json"
+        save_tree(original, str(path))
+        rebuilt = load_tree(str(path))
+        assert len(rebuilt) == len(original)
+
+    def test_timing_identical_after_round_trip(self, timer):
+        original = build_sample()
+        rebuilt = tree_from_json(tree_to_json(original))
+        a = timer.latencies(original)
+        b = timer.latencies(rebuilt)
+        assert a == b
+
+
+class TestValidation:
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            tree_from_dict({"schema": 99, "nodes": []})
+
+    def test_source_must_come_first(self):
+        payload = tree_to_dict(build_sample())
+        payload["nodes"] = payload["nodes"][::-1]
+        with pytest.raises(ValueError):
+            tree_from_dict(payload)
+
+    def test_restore_rejects_duplicate_ids(self):
+        from repro.netlist.tree import NodeKind
+
+        entries = [
+            (0, NodeKind.SOURCE, Point(0, 0), None, (), None),
+            (0, NodeKind.SINK, Point(1, 1), None, (), 0),
+        ]
+        with pytest.raises(ValueError):
+            ClockTree.restore(entries)
+
+    def test_restore_rejects_orphans(self):
+        from repro.netlist.tree import NodeKind
+
+        entries = [
+            (0, NodeKind.SOURCE, Point(0, 0), None, (), None),
+            (2, NodeKind.SINK, Point(1, 1), None, (), 7),
+        ]
+        with pytest.raises(ValueError):
+            ClockTree.restore(entries)

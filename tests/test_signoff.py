@@ -1,0 +1,63 @@
+"""Signoff gate-delay correction model."""
+
+import pytest
+
+from repro.sta.signoff import signoff_gate_factor
+
+
+class TestFactorShape:
+    def test_near_unity(self):
+        factor = signoff_gate_factor(8, 20.0, 10.0)
+        assert 0.9 < factor < 1.1
+
+    def test_load_term_increases_delay(self):
+        light = signoff_gate_factor(8, 20.0, 2.0)
+        heavy = signoff_gate_factor(8, 20.0, 120.0)
+        assert heavy > light
+
+    def test_small_drivers_more_load_sensitive(self):
+        small = signoff_gate_factor(2, 20.0, 80.0)
+        large = signoff_gate_factor(32, 20.0, 80.0)
+        assert small > large
+
+    def test_slow_input_reduces_factor_for_big_cells(self):
+        fast = signoff_gate_factor(32, 5.0, 10.0)
+        slow = signoff_gate_factor(32, 150.0, 10.0)
+        assert slow < fast
+
+    def test_deterministic(self):
+        assert signoff_gate_factor(8, 33.0, 17.0) == signoff_gate_factor(
+            8, 33.0, 17.0
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            signoff_gate_factor(0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            signoff_gate_factor(8, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            signoff_gate_factor(8, 10.0, -1.0)
+
+
+class TestIntegration:
+    def test_golden_timer_applies_correction(self, library_cls1, timer):
+        """Golden pair delay differs from raw NLDM interpolation by the factor."""
+        from repro.geometry import Point
+        from repro.netlist.tree import ClockTree
+        from repro.sta.gate import inverter_pair_timing
+
+        tree = ClockTree()
+        src = tree.add_source(Point(0, 0))
+        buf = tree.add_buffer(src, Point(60, 0), 8)
+        tree.add_sink(buf, Point(120, 0))
+        corner = library_cls1.corners.nominal
+        timing = timer.analyze_corner(tree, corner)
+
+        cell = library_cls1.cell(8, corner)
+        raw = inverter_pair_timing(
+            cell, timing.input_slew[buf], timing.driver_load[buf]
+        )
+        expected = raw.delay_ps * signoff_gate_factor(
+            8, timing.input_slew[buf], timing.driver_load[buf]
+        )
+        assert timing.driver_delay[buf] == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,69 @@
+"""Single-trunk Steiner trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.route.single_trunk import single_trunk_tree
+
+coords = st.floats(0.0, 500.0, allow_nan=False)
+point_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=1, max_size=12, unique=True
+)
+
+
+def test_single_pin():
+    tree = single_trunk_tree([Point(5, 5)])
+    assert tree.length == 0.0
+    assert tree.num_pins == 1
+
+
+def test_two_pins_is_direct(self=None):
+    tree = single_trunk_tree([Point(0, 0), Point(10, 4)])
+    tree.validate()
+    assert tree.length == pytest.approx(14.0)
+
+
+def test_horizontal_row_has_no_stubs():
+    pts = [Point(float(x), 10.0) for x in (0, 10, 25, 40)]
+    tree = single_trunk_tree(pts)
+    tree.validate()
+    assert tree.length == pytest.approx(40.0)
+
+
+def test_trunk_at_median():
+    # Three pins: trunk should pass through the median y.
+    pts = [Point(0, 0), Point(10, 100), Point(20, 10)]
+    tree = single_trunk_tree(pts)
+    tree.validate()
+    # Stub lengths: |0-10| + |100-10| + 0 = 100, trunk = 20 (H orientation);
+    # V orientation: trunk at x=10: stubs 10+10, trunk span 100 -> 120.
+    assert tree.length == pytest.approx(120.0)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        single_trunk_tree([])
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_trunk_tree_valid_and_spans(pts):
+    tree = single_trunk_tree(pts)
+    tree.validate()
+    assert tree.num_pins == len(pts)
+    for i, p in enumerate(pts):
+        assert tree.points[i] == p
+
+
+@given(point_lists)
+@settings(max_examples=40, deadline=None)
+def test_orientation_choice_not_worse_than_either(pts):
+    from repro.route.single_trunk import _dedupe, _trunk_tree
+
+    tree = single_trunk_tree(pts)
+    if len(pts) >= 2:
+        h = _dedupe(_trunk_tree(pts, horizontal=True)).length
+        v = _dedupe(_trunk_tree(pts, horizontal=False)).length
+        assert tree.length == pytest.approx(min(h, v))

@@ -1,0 +1,65 @@
+"""Datapath pairs and critical-pair selection."""
+
+import pytest
+
+from repro.netlist.sink_pairs import (
+    DatapathPair,
+    pairs_touching,
+    select_critical_pairs,
+)
+
+
+def make_pair(launch, capture, setup, hold):
+    return DatapathPair(
+        launch=launch,
+        capture=capture,
+        setup_slack={"c0": setup},
+        hold_slack={"c0": hold},
+    )
+
+
+class TestCriticality:
+    def test_lower_slack_is_more_critical(self):
+        tight = make_pair(1, 2, 10.0, 500.0)
+        loose = make_pair(3, 4, 300.0, 500.0)
+        assert tight.criticality("c0") > loose.criticality("c0")
+
+    def test_hold_counts_too(self):
+        hold_tight = make_pair(1, 2, 500.0, 5.0)
+        assert hold_tight.criticality("c0") == pytest.approx(-5.0)
+
+    def test_missing_corner_is_uncritical(self):
+        pair = make_pair(1, 2, 10.0, 10.0)
+        assert pair.criticality("c9") == -float("inf")
+
+
+class TestSelection:
+    def test_top_k_per_corner(self):
+        pairs = [make_pair(i, i + 100, float(i), 500.0) for i in range(10)]
+        selected = select_critical_pairs(pairs, ["c0"], top_k=3)
+        assert selected == [(0, 100), (1, 101), (2, 102)]
+
+    def test_union_over_corners(self):
+        a = DatapathPair(1, 2, {"c0": 1.0, "c1": 900.0}, {})
+        b = DatapathPair(3, 4, {"c0": 900.0, "c1": 1.0}, {})
+        selected = select_critical_pairs([a, b], ["c0", "c1"], top_k=1)
+        assert selected == [(1, 2), (3, 4)]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            select_critical_pairs([], ["c0"], top_k=0)
+
+    def test_deterministic_order(self):
+        pairs = [make_pair(i, 50 - i, 5.0, 500.0) for i in range(5)]
+        first = select_critical_pairs(pairs, ["c0"], top_k=5)
+        second = select_critical_pairs(list(reversed(pairs)), ["c0"], top_k=5)
+        assert first == second
+
+
+class TestPairsTouching:
+    def test_filters_by_endpoint(self):
+        pairs = [(1, 2), (3, 4), (2, 5)]
+        assert pairs_touching(pairs, {2}) == [(1, 2), (2, 5)]
+
+    def test_empty_sinks(self):
+        assert pairs_touching([(1, 2)], set()) == []

@@ -1,0 +1,130 @@
+"""Skew-variation arithmetic (Equations (1)-(3))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sta.skew import (
+    SkewAnalysis,
+    normalization_factors,
+    normalized_skew_variation,
+    pair_skew,
+    sum_of_skew_variations,
+    worst_pair_variation,
+)
+from repro.tech.corners import default_corners
+
+
+@pytest.fixture(scope="module")
+def corners():
+    return default_corners(("c0", "c1", "c3"))
+
+
+def latency_fixture():
+    """Three sinks at three corners; c1 stretched 2x, c3 shrunk 0.5x."""
+    base = {1: 100.0, 2: 120.0, 3: 90.0}
+    return {
+        "c0": dict(base),
+        "c1": {k: 2.0 * v for k, v in base.items()},
+        "c3": {k: 0.5 * v for k, v in base.items()},
+    }
+
+
+PAIRS = [(1, 2), (2, 3), (1, 3)]
+
+
+class TestSkewBasics:
+    def test_pair_skew_sign(self):
+        lat = latency_fixture()["c0"]
+        assert pair_skew(lat, (1, 2)) == pytest.approx(-20.0)
+        assert pair_skew(lat, (2, 1)) == pytest.approx(20.0)
+
+    def test_alpha_nominal_is_one(self, corners):
+        alphas = normalization_factors(latency_fixture(), PAIRS, corners)
+        assert alphas["c0"] == 1.0
+
+    def test_alpha_inverts_uniform_scaling(self, corners):
+        alphas = normalization_factors(latency_fixture(), PAIRS, corners)
+        assert alphas["c1"] == pytest.approx(0.5)
+        assert alphas["c3"] == pytest.approx(2.0)
+
+    def test_uniform_scaling_gives_zero_variation(self, corners):
+        """If a corner is a pure rescale of nominal, normalization
+        removes all variation — the founding identity of Eq. (1)."""
+        lat = latency_fixture()
+        alphas = normalization_factors(lat, PAIRS, corners)
+        total = sum_of_skew_variations(lat, PAIRS, corners, alphas)
+        assert total == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonuniform_corner_yields_variation(self, corners):
+        lat = latency_fixture()
+        lat["c1"][1] += 30.0  # breaks proportionality for pairs with sink 1
+        alphas = normalization_factors(latency_fixture(), PAIRS, corners)
+        total = sum_of_skew_variations(lat, PAIRS, corners, alphas)
+        assert total > 1.0
+
+    def test_variation_symmetric_in_corner_order(self, corners):
+        lat = latency_fixture()
+        lat["c1"][2] += 17.0
+        alphas = normalization_factors(lat, PAIRS, corners)
+        c0 = corners.by_name("c0")
+        c1 = corners.by_name("c1")
+        v_ab = normalized_skew_variation(lat, (1, 2), c0, c1, alphas)
+        v_ba = normalized_skew_variation(lat, (1, 2), c1, c0, alphas)
+        assert v_ab == pytest.approx(v_ba)
+
+    def test_worst_pair_variation_is_max(self, corners):
+        lat = latency_fixture()
+        lat["c1"][1] += 40.0
+        alphas = normalization_factors(lat, PAIRS, corners)
+        worst = worst_pair_variation(lat, (1, 2), corners, alphas)
+        singles = [
+            normalized_skew_variation(lat, (1, 2), a, b, alphas)
+            for a, b in corners.pairs()
+        ]
+        assert worst == pytest.approx(max(singles))
+
+
+class TestSkewAnalysis:
+    def test_from_latencies_totals(self, corners):
+        lat = latency_fixture()
+        lat["c1"][3] -= 25.0
+        analysis = SkewAnalysis.from_latencies(lat, PAIRS, corners)
+        assert analysis.total_variation == pytest.approx(
+            sum(analysis.pair_variation.values())
+        )
+
+    def test_local_skew_is_max_abs_pair_skew(self, corners):
+        lat = latency_fixture()
+        analysis = SkewAnalysis.from_latencies(lat, PAIRS, corners)
+        assert analysis.local_skew["c0"] == pytest.approx(30.0)  # |90 - 120|
+
+    def test_external_alphas_respected(self, corners):
+        lat = latency_fixture()
+        fixed = {"c0": 1.0, "c1": 1.0, "c3": 1.0}
+        analysis = SkewAnalysis.from_latencies(lat, PAIRS, corners, alphas=fixed)
+        # Without normalization the 2x corner shows raw variation.
+        assert analysis.total_variation > 10.0
+
+    def test_degraded_local_skew_detection(self, corners):
+        lat = latency_fixture()
+        good = SkewAnalysis.from_latencies(lat, PAIRS, corners)
+        worse = {k: dict(v) for k, v in lat.items()}
+        worse["c0"][2] += 100.0
+        bad = SkewAnalysis.from_latencies(worse, PAIRS, corners)
+        assert bad.degraded_local_skew(good)
+        assert not good.degraded_local_skew(bad)
+
+    @given(st.floats(1.05, 3.0), st.floats(0.2, 0.95))
+    @settings(max_examples=30)
+    def test_pure_rescale_invariance_property(self, f1, f3):
+        corners = default_corners(("c0", "c1", "c3"))
+        base = {1: 100.0, 2: 137.0, 3: 81.0, 4: 150.0}
+        lat = {
+            "c0": dict(base),
+            "c1": {k: f1 * v for k, v in base.items()},
+            "c3": {k: f3 * v for k, v in base.items()},
+        }
+        pairs = [(1, 2), (3, 4), (1, 4)]
+        analysis = SkewAnalysis.from_latencies(lat, pairs, corners)
+        assert analysis.total_variation == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,54 @@
+"""PERI slew propagation and wire slew degradation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sta.slew import peri_slew, wire_degraded_slew, wire_step_slew
+
+positive = st.floats(0.0, 1e4, allow_nan=False)
+
+
+class TestPeri:
+    def test_zero_input_passes_step_slew(self):
+        assert peri_slew(0.0, 12.0) == pytest.approx(12.0)
+
+    def test_zero_step_passes_input(self):
+        assert peri_slew(9.0, 0.0) == pytest.approx(9.0)
+
+    def test_rss_combination(self):
+        assert peri_slew(3.0, 4.0) == pytest.approx(5.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            peri_slew(-1.0, 1.0)
+
+    @given(positive, positive)
+    def test_output_bounds(self, a, b):
+        out = peri_slew(a, b)
+        assert max(a, b) - 1e-9 <= out <= a + b + 1e-9
+
+    @given(positive, positive, positive)
+    def test_monotone(self, a, b, extra):
+        assert peri_slew(a + extra, b) >= peri_slew(a, b) - 1e-9
+
+
+class TestWireSlew:
+    def test_step_slew_is_ln9_elmore(self):
+        assert wire_step_slew(10.0) == pytest.approx(math.log(9.0) * 10.0)
+
+    def test_zero_wire_preserves_slew(self):
+        assert wire_degraded_slew(20.0, 0.0) == pytest.approx(20.0)
+
+    def test_degradation_monotone_in_wire(self):
+        assert wire_degraded_slew(20.0, 10.0) > wire_degraded_slew(20.0, 5.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            wire_step_slew(-1.0)
+
+    @given(positive, positive)
+    def test_never_sharpens(self, slew, elmore):
+        assert wire_degraded_slew(slew, elmore) >= slew - 1e-9

@@ -1,0 +1,102 @@
+"""Stage-delay LUT characterization (paper Figure 3)."""
+
+import pytest
+
+from repro.tech.stage_lut import (
+    DEFAULT_WL_AXIS,
+    characterize_stage_luts,
+    hop_wire_delay,
+    stage_delay,
+    steady_state_stage,
+)
+
+
+class TestStageDelay:
+    def test_positive_and_finite(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        delay, slew = stage_delay(library_cls1, corner, 8, 50.0, 20.0, 4.0)
+        assert 0.0 < delay < 1000.0
+        assert 0.0 < slew < 1000.0
+
+    def test_monotone_in_wirelength(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        short, _ = stage_delay(library_cls1, corner, 8, 20.0, 20.0, 4.0)
+        long, _ = stage_delay(library_cls1, corner, 8, 180.0, 20.0, 4.0)
+        assert long > short
+
+    def test_corner_ordering(self, library_cls1):
+        by_name = {c.name: c for c in library_cls1.corners}
+        delays = {
+            name: stage_delay(library_cls1, by_name[name], 8, 80.0, 20.0, 4.0)[0]
+            for name in ("c0", "c1", "c3")
+        }
+        assert delays["c1"] > delays["c0"] > delays["c3"]
+
+    def test_bigger_cell_faster_on_long_wire(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        small, _ = stage_delay(library_cls1, corner, 2, 150.0, 20.0, 4.0)
+        big, _ = stage_delay(library_cls1, corner, 32, 150.0, 20.0, 4.0)
+        assert big < small
+
+
+class TestSteadyState:
+    def test_fixed_point_is_self_consistent(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        delay, slew = steady_state_stage(library_cls1, corner, 8, 60.0)
+        fanout = library_cls1.cell(8, corner).input_cap_ff
+        again, slew2 = stage_delay(library_cls1, corner, 8, 60.0, slew, fanout)
+        assert slew2 == pytest.approx(slew, abs=0.1)
+        assert again == pytest.approx(delay, rel=0.01)
+
+
+class TestHopWireDelay:
+    def test_zero_length(self, library_cls1):
+        d, e = hop_wire_delay(library_cls1, library_cls1.corners.nominal, 0.0, 5.0)
+        assert d == 0.0 and e == 0.0
+
+    def test_d2m_below_elmore(self, library_cls1):
+        d, e = hop_wire_delay(
+            library_cls1, library_cls1.corners.nominal, 150.0, 2.0
+        )
+        assert 0.0 < d <= e
+
+
+class TestCharacterization:
+    @pytest.fixture(scope="class")
+    def luts(self, library_cls1):
+        # Small sweep to keep the test fast; full axis is bench territory.
+        return characterize_stage_luts(
+            library_cls1, sizes=(4, 16), wl_axis=(10.0, 60.0, 120.0)
+        )
+
+    def test_one_lut_per_corner(self, luts, library_cls1):
+        assert set(luts) == {c.name for c in library_cls1.corners}
+
+    def test_uniform_entries_complete(self, luts):
+        lut = luts["c0"]
+        assert set(lut.uniform) == {
+            (s, w) for s in (4, 16) for w in (10.0, 60.0, 120.0)
+        }
+
+    def test_snap_wl(self, luts):
+        lut = luts["c0"]
+        assert lut.snap_wl(58.0) == 60.0
+        assert lut.snap_wl(500.0) == 120.0
+        assert lut.snap_wl(0.0) == 10.0
+
+    def test_uniform_delay_accessor(self, luts):
+        lut = luts["c0"]
+        assert lut.uniform_delay(4, 61.0) == lut.uniform[(4, 60.0)]
+
+    def test_detail_interpolates_between_grid(self, luts):
+        lut = luts["c0"]
+        lo = lut.detail_delay(4, 60.0, 5.0, 1.0)
+        hi = lut.detail_delay(4, 60.0, 150.0, 80.0)
+        mid = lut.detail_delay(4, 60.0, 40.0, 10.0)
+        assert lo < mid < hi
+
+    def test_default_wl_axis_matches_paper(self):
+        assert DEFAULT_WL_AXIS[0] == 10.0
+        assert DEFAULT_WL_AXIS[-1] == 200.0
+        assert DEFAULT_WL_AXIS[1] - DEFAULT_WL_AXIS[0] == 5.0
+        assert len(DEFAULT_WL_AXIS) == 39

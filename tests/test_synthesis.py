@@ -1,0 +1,105 @@
+"""CTS end-to-end invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cts.synthesis import CTSConfig, synthesize_tree
+from repro.eco.legalize import Legalizer
+from repro.geometry import BBox, Point
+from repro.sta.timer import GoldenTimer
+
+
+@pytest.fixture(scope="module")
+def synth(library_cls1):
+    rng = np.random.default_rng(42)
+    region = BBox(0, 0, 500, 500)
+    sinks = [
+        Point(round(float(rng.uniform(30, 470)), 1), round(float(rng.uniform(30, 470)), 1))
+        for _ in range(60)
+    ]
+    config = CTSConfig(leaf_fanout=8, leaf_radius_um=100.0, balance_rounds=2)
+    tree = synthesize_tree(
+        Point(250, 0), sinks, library_cls1, region, Legalizer(region=region), config
+    )
+    return tree, sinks, region, config
+
+
+class TestStructure:
+    def test_all_sinks_present(self, synth):
+        tree, sinks, _, _ = synth
+        locations = {
+            (tree.node(s).location.x, tree.node(s).location.y)
+            for s in tree.sinks()
+        }
+        assert locations == {(p.x, p.y) for p in sinks}
+
+    def test_valid_tree(self, synth):
+        tree, _, _, _ = synth
+        tree.validate()
+
+    def test_every_sink_driven_by_buffer(self, synth):
+        tree, _, _, _ = synth
+        for sink in tree.sinks():
+            assert tree.node(tree.parent(sink)).is_buffer
+
+    def test_leaf_fanout_cap(self, synth):
+        tree, _, _, config = synth
+        for sink in tree.sinks():
+            parent = tree.parent(sink)
+            sinks_under = [
+                c for c in tree.children(parent) if tree.node(c).is_sink
+            ]
+            assert len(sinks_under) <= config.leaf_fanout
+
+    def test_no_overlong_edges(self, synth):
+        tree, _, _, config = synth
+        for nid in tree.node_ids():
+            if tree.parent(nid) is None or tree.node(nid).is_sink:
+                continue
+            # Buffer-to-buffer spans obey the repeater rule (direct part);
+            # snaking may extend routed length but not the span.
+            parent = tree.parent(nid)
+            span = tree.node(parent).location.manhattan(tree.node(nid).location)
+            assert span <= config.repeater_spacing_um * 1.5
+
+    def test_buffers_on_legal_sites(self, synth):
+        tree, _, region, _ = synth
+        for nid in tree.buffers():
+            loc = tree.node(nid).location
+            assert region.contains(loc)
+            assert loc.x % 5.0 == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBalance:
+    def test_balancing_tightens_nominal_skew(self, library_cls1):
+        rng = np.random.default_rng(9)
+        region = BBox(0, 0, 500, 500)
+        sinks = [
+            Point(round(float(rng.uniform(30, 470)), 1), round(float(rng.uniform(30, 470)), 1))
+            for _ in range(40)
+        ]
+        legalizer = Legalizer(region=region)
+        timer = GoldenTimer(library_cls1)
+        nominal = library_cls1.corners.nominal
+
+        def skew(tree):
+            timing = timer.analyze_corner(tree, nominal)
+            lats = [timing.arrival[s] for s in tree.sinks()]
+            return max(lats) - min(lats)
+
+        raw = synthesize_tree(
+            Point(250, 0), sinks, library_cls1, region, legalizer,
+            CTSConfig(balance_rounds=0),
+        )
+        balanced = synthesize_tree(
+            Point(250, 0), sinks, library_cls1, region, legalizer,
+            CTSConfig(balance_rounds=3),
+        )
+        assert skew(balanced) < skew(raw)
+
+    def test_no_sinks_requires_error(self, library_cls1):
+        region = BBox(0, 0, 100, 100)
+        with pytest.raises(ValueError):
+            synthesize_tree(
+                Point(0, 0), [], library_cls1, region, Legalizer(region=region)
+            )

@@ -1,0 +1,112 @@
+"""Testcase generators: mini, CLS1, CLS2."""
+
+import pytest
+
+from repro.sta.timer import GoldenTimer
+from repro.testcases.mini import build_mini
+
+
+class TestMini:
+    def test_structure(self, mini_design):
+        d = mini_design
+        d.tree.validate()
+        assert len(d.tree.sinks()) == 48
+        assert len(d.pairs) > 0
+        assert all(p[0] != p[1] for p in d.pairs)
+
+    def test_pairs_reference_real_sinks(self, mini_design):
+        sinks = set(mini_design.tree.sinks())
+        for launch, capture in mini_design.pairs:
+            assert launch in sinks and capture in sinks
+
+    def test_deterministic(self):
+        a = build_mini(seed=11)
+        b = build_mini(seed=11)
+        assert a.pairs == b.pairs
+        assert a.tree.total_wirelength() == pytest.approx(
+            b.tree.total_wirelength()
+        )
+
+    def test_seed_changes_design(self):
+        a = build_mini(seed=11)
+        b = build_mini(seed=12)
+        assert a.tree.total_wirelength() != pytest.approx(
+            b.tree.total_wirelength()
+        )
+
+    def test_clock_cell_accounting(self, mini_design):
+        d = mini_design
+        assert d.clock_cell_count() == 2 * (len(d.tree.buffers()) + 1)
+        assert d.clock_cell_area_um2() > 0.0
+
+    def test_skew_variation_exists(self, mini_problem):
+        """The CTS tree must exhibit cross-corner variation to optimize."""
+        assert mini_problem.baseline.total_variation > 50.0
+
+    def test_nominal_balanced_tighter_than_offcorner(self, mini_problem):
+        skews = mini_problem.baseline.skews.local_skew
+        # Balanced at c0, so the slow corner c1 shows more skew.
+        assert skews["c1"] > skews["c0"]
+
+
+@pytest.mark.slow
+class TestCLS1:
+    @pytest.fixture(scope="class")
+    def cls1(self):
+        from repro.testcases.cls1 import build_cls1
+
+        return build_cls1(1, balance_rounds=1)
+
+    def test_scale(self, cls1):
+        assert len(cls1.tree.sinks()) >= 300
+        assert len(cls1.datapaths) >= 400
+        cls1.tree.validate()
+
+    def test_corners(self, cls1):
+        assert [c.name for c in cls1.library.corners] == ["c0", "c1", "c3"]
+
+    def test_four_quadrants_populated(self, cls1):
+        mid_x = (cls1.region.xlo + cls1.region.xhi) / 2
+        mid_y = (cls1.region.ylo + cls1.region.yhi) / 2
+        quads = set()
+        for sink in cls1.tree.sinks():
+            loc = cls1.tree.node(sink).location
+            quads.add((loc.x < mid_x, loc.y < mid_y))
+        assert len(quads) == 4
+
+    def test_variant_2_differs(self):
+        from repro.testcases.cls1 import build_cls1
+
+        v2 = build_cls1(2, balance_rounds=0)
+        assert v2.name == "CLS1v2"
+
+    def test_invalid_variant(self):
+        from repro.testcases.cls1 import build_cls1
+
+        with pytest.raises(ValueError):
+            build_cls1(3)
+
+
+@pytest.mark.slow
+class TestCLS2:
+    @pytest.fixture(scope="class")
+    def cls2(self):
+        from repro.testcases.cls2 import build_cls2
+
+        return build_cls2(balance_rounds=1)
+
+    def test_scale_and_corners(self, cls2):
+        assert len(cls2.tree.sinks()) >= 400
+        assert [c.name for c in cls2.library.corners] == ["c0", "c1", "c2"]
+        cls2.tree.validate()
+
+    def test_long_distance_pairs_exist(self, cls2):
+        """The memory-controller signature: ~1mm launch-capture spans."""
+        locations = {
+            s: cls2.tree.node(s).location for s in cls2.tree.sinks()
+        }
+        spans = [
+            locations[p.launch].manhattan(locations[p.capture])
+            for p in cls2.datapaths
+        ]
+        assert max(spans) > 800.0

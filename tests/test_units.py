@@ -1,0 +1,27 @@
+"""Unit-convention invariants."""
+
+import pytest
+
+from repro import units
+
+
+def test_ps_ns_roundtrip():
+    assert units.ns_to_ps(units.ps_to_ns(123.4)) == pytest.approx(123.4)
+
+
+def test_ps_to_ns_scale():
+    assert units.ps_to_ns(1000.0) == pytest.approx(1.0)
+
+
+def test_rc_delay_identity():
+    # 1 kOhm * 1 fF must equal exactly 1 ps in this unit system.
+    assert units.rc_delay_ps(1.0, 1.0) == pytest.approx(1.0)
+
+
+def test_rc_delay_scales_bilinearly():
+    assert units.rc_delay_ps(2.0, 3.0) == pytest.approx(6.0)
+    assert units.rc_delay_ps(0.5, 10.0) == pytest.approx(5.0)
+
+
+def test_ohm_kohm_factors_consistent():
+    assert units.KOHM_TO_OHM * units.OHM_TO_KOHM == pytest.approx(1.0)

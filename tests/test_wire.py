@@ -1,0 +1,63 @@
+"""Wire model: RC per unit length and BEOL corner scaling."""
+
+import pytest
+
+from repro.tech.corners import TABLE3_CORNERS
+from repro.tech.derating import DerateModel
+from repro.tech.wire import WireModel
+
+
+@pytest.fixture(scope="module")
+def derate():
+    return DerateModel(reference=TABLE3_CORNERS["c0"])
+
+
+@pytest.fixture(scope="module")
+def wire_c0(derate):
+    return WireModel.for_corner(TABLE3_CORNERS["c0"], derate)
+
+
+@pytest.fixture(scope="module")
+def wire_c2(derate):
+    return WireModel.for_corner(TABLE3_CORNERS["c2"], derate)
+
+
+def test_reference_corner_uses_unit_values(wire_c0):
+    from repro.tech.wire import UNIT_CAP_FF_PER_UM, UNIT_RES_KOHM_PER_UM
+
+    assert wire_c0.res_per_um == pytest.approx(UNIT_RES_KOHM_PER_UM)
+    assert wire_c0.cap_per_um == pytest.approx(UNIT_CAP_FF_PER_UM)
+
+
+def test_cmin_corner_has_less_rc(wire_c0, wire_c2):
+    assert wire_c2.cap_per_um < wire_c0.cap_per_um
+    assert wire_c2.res_per_um < wire_c0.res_per_um
+
+
+def test_segment_quantities_linear(wire_c0):
+    assert wire_c0.segment_cap(100.0) == pytest.approx(
+        2 * wire_c0.segment_cap(50.0)
+    )
+    assert wire_c0.segment_res(100.0) == pytest.approx(
+        2 * wire_c0.segment_res(50.0)
+    )
+
+
+def test_negative_length_rejected(wire_c0):
+    with pytest.raises(ValueError):
+        wire_c0.segment_cap(-1.0)
+    with pytest.raises(ValueError):
+        wire_c0.segment_res(-1.0)
+
+
+def test_lumped_delay_quadratic_in_length(wire_c0):
+    # With no load, delay = r*L * c*L/2 grows quadratically.
+    d1 = wire_c0.lumped_delay(100.0)
+    d2 = wire_c0.lumped_delay(200.0)
+    assert d2 == pytest.approx(4 * d1)
+
+
+def test_lumped_delay_with_load_additive(wire_c0):
+    base = wire_c0.lumped_delay(100.0)
+    loaded = wire_c0.lumped_delay(100.0, load_ff=10.0)
+    assert loaded == pytest.approx(base + wire_c0.segment_res(100.0) * 10.0)
