@@ -1,0 +1,121 @@
+"""Bench: full golden re-timing vs the incremental engine on local moves.
+
+Reproduces the motivating measurement for the incremental timer: during
+local optimization every candidate move needs golden-accurate timing, and
+the clone + full re-propagation pattern pays the whole tree's cost per
+candidate.  The incremental engine re-times only the move's dirty cone.
+
+Writes ``results/BENCH_timer.json`` with both wall times, the speedup,
+and the engine's cache statistics, and asserts the tentpole target:
+**>= 5x** on CLS1v1 local-opt move evaluation.  A MINI smoke variant
+(`-k smoke`) runs in seconds for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from _util import RESULTS_DIR, emit
+from repro.core.moves import apply_move, enumerate_moves
+from repro.core.objective import SkewVariationProblem
+from repro.sta.timer import GoldenTimer
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.mini import build_mini
+
+#: Agreement bound between the two engines (ps).
+TOL_PS = 1e-9
+
+
+def _candidate_moves(design, limit):
+    """A deterministic, type-diverse slice of the Table-2 move universe."""
+    moves = enumerate_moves(design.tree, design.library)
+    if len(moves) <= limit:
+        return moves
+    stride = len(moves) // limit
+    return [moves[i * stride] for i in range(limit)]
+
+
+def _run_comparison(design, limit):
+    problem = SkewVariationProblem.create(design)
+    tree = design.tree.clone()
+    moves = _candidate_moves(design, limit)
+    golden = GoldenTimer(design.library)
+    pairs = design.pairs
+
+    # Full path: the pre-tentpole pattern — clone, apply, re-time all.
+    t0 = time.perf_counter()
+    full_objectives = []
+    for move in moves:
+        trial = tree.clone()
+        apply_move(trial, design.legalizer, design.library, move)
+        result = golden.time_tree(trial, pairs, alphas=problem.alphas)
+        full_objectives.append(result.total_variation)
+    full_s = time.perf_counter() - t0
+
+    # Incremental path: apply in place, re-time the dirty cone, undo.
+    engine = problem.engine()
+    t0 = time.perf_counter()
+    engine.ensure(tree)
+    inc_objectives = []
+    for move in moves:
+        result = problem.evaluate_move(tree, move)
+        inc_objectives.append(result.total_variation)
+    inc_s = time.perf_counter() - t0
+
+    max_err = max(
+        abs(a - b) for a, b in zip(full_objectives, inc_objectives)
+    )
+    return {
+        "design": design.name,
+        "moves": len(moves),
+        "nodes": len(tree),
+        "corners": [c.name for c in design.library.corners],
+        "full_s": round(full_s, 4),
+        "incremental_s": round(inc_s, 4),
+        "full_ms_per_move": round(1000.0 * full_s / len(moves), 3),
+        "incremental_ms_per_move": round(1000.0 * inc_s / len(moves), 3),
+        "speedup": round(full_s / inc_s, 2),
+        "max_objective_err_ps": max_err,
+        "engine_stats": dict(engine.stats),
+    }
+
+
+def _report(tag, record):
+    lines = [
+        f"BENCH timer ({record['design']}): "
+        f"{record['moves']} candidate move evaluations",
+        f"  full golden : {record['full_s']:8.3f} s "
+        f"({record['full_ms_per_move']:.2f} ms/move)",
+        f"  incremental : {record['incremental_s']:8.3f} s "
+        f"({record['incremental_ms_per_move']:.2f} ms/move)",
+        f"  speedup     : {record['speedup']:.2f}x",
+        f"  max |d objective| = {record['max_objective_err_ps']:.3e} ps",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def test_bench_timer_perf_cls1():
+    """Tentpole acceptance: >= 5x on CLS1v1 move evaluation."""
+    design = build_cls1(1)
+    record = _run_comparison(design, limit=120)
+    _report("BENCH_timer", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_timer.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    assert record["max_objective_err_ps"] <= TOL_PS
+    assert record["speedup"] >= 5.0, record
+
+
+def test_bench_timer_perf_smoke():
+    """MINI-scale smoke (CI): correctness plus a modest speedup floor."""
+    design = build_mini()
+    record = _run_comparison(design, limit=40)
+    _report("BENCH_timer_smoke", record)
+    assert record["max_objective_err_ps"] <= TOL_PS
+    # MINI's tree is tiny, so the full pass is cheap and the relative
+    # win is smaller; the floor only guards against regressions.
+    assert record["speedup"] >= 1.5, record

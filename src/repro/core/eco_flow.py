@@ -41,6 +41,7 @@ from repro.geometry import BBox
 from repro.netlist.arcs import Arc
 from repro.netlist.tree import ClockTree
 from repro.sta.gate import inverter_pair_timing
+from repro.sta.incremental import IncrementalTimer
 from repro.sta.slew import wire_degraded_slew
 from repro.sta.timer import CornerTiming
 from repro.tech.library import Library
@@ -84,12 +85,14 @@ class LPGuidedECO:
         legalizer: Legalizer,
         region: Optional[BBox] = None,
         config: ECOConfig = ECOConfig(),
+        incremental: Optional[IncrementalTimer] = None,
     ) -> None:
         self._library = library
         self._luts = stage_luts
         self._legalizer = legalizer
         self._region = region or legalizer.region
         self._config = config
+        self._incremental = incremental
 
     # ------------------------------------------------------------------
     def realize(
@@ -97,18 +100,26 @@ class LPGuidedECO:
         tree: ClockTree,
         data: LPModelData,
         solution: LPSolution,
-        timings: Mapping[str, CornerTiming],
+        timings: Optional[Mapping[str, CornerTiming]] = None,
         arc_indices: Optional[Sequence[int]] = None,
     ) -> List[ArcECO]:
         """Apply the LP's delay changes to ``tree`` (mutates it).
 
         ``timings`` must describe the *current* state of ``tree`` (they
         provide the anchors' loads/slews for estimation, and the current
-        arc delays that the no-op candidate competes with).  Pass
-        ``arc_indices`` to realize a subset — the batched-verification
-        driver in :mod:`repro.core.framework` uses this to commit the
-        plan incrementally.  Returns a report per modified arc.
+        arc delays that the no-op candidate competes with).  When omitted
+        they are measured here by the ECO's incremental engine (pass one
+        at construction).  Pass ``arc_indices`` to realize a subset — the
+        batched-verification driver in :mod:`repro.core.framework` uses
+        this to commit the plan incrementally.  Returns a report per
+        modified arc.
         """
+        if timings is None:
+            if self._incremental is None:
+                raise ValueError(
+                    "realize() needs timings or an incremental engine"
+                )
+            timings = self._incremental.corner_timings(tree)
         if arc_indices is None:
             arc_indices = solution.nonzero_arcs(self._config.delta_threshold_ps)
         nominal = self._library.corners.nominal.name

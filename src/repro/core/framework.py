@@ -145,7 +145,12 @@ class GlobalOptimizer:
 
         for iteration in range(cfg.max_iterations):
             data = build_model_data(
-                current, timer, problem.pairs, problem.alphas, self._tech.stage_luts
+                current,
+                timer,
+                problem.pairs,
+                problem.alphas,
+                self._tech.stage_luts,
+                timings=problem.corner_timings(current),
             )
             lp = GlobalSkewLP(
                 data,
@@ -212,7 +217,6 @@ class GlobalOptimizer:
         """
         cfg = self._config
         problem = self._problem
-        timer = problem.timer
         design = problem.design
         eco = LPGuidedECO(
             design.library,
@@ -220,16 +224,14 @@ class GlobalOptimizer:
             design.legalizer,
             region=design.region,
             config=cfg.eco,
+            incremental=problem.engine(),
         )
 
         current = base_tree.clone()
         current_result = problem.evaluate(current)
 
         # One-shot attempt: the coordinated plan, all arcs at once.
-        timings = {
-            c.name: timer.analyze_corner(current, c)
-            for c in design.library.corners
-        }
+        timings = problem.corner_timings(current)
         full_trial = current.clone()
         full_report = eco.realize(full_trial, data, solution, timings)
         if full_report:
@@ -258,10 +260,7 @@ class GlobalOptimizer:
         reverted = 1  # the rejected one-shot attempt
         for start in range(0, len(pending), cfg.batch_size):
             batch = pending[start : start + cfg.batch_size]
-            timings = {
-                c.name: timer.analyze_corner(current, c)
-                for c in design.library.corners
-            }
+            timings = problem.corner_timings(current)
             trial = current.clone()
             report = eco.realize(trial, data, solution, timings, arc_indices=batch)
             if not report:

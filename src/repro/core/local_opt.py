@@ -7,8 +7,9 @@ Each iteration:
 2. predict each move's per-corner delta-latency with the trained model
    and translate it into a predicted reduction of the sum of skew
    variations over the affected sink pairs;
-3. implement the top-``R`` moves (on clones) and assess them with the
-   golden timer — paper Line 4;
+3. trial the top-``R`` moves in place via the incremental timing engine
+   (apply → re-time the dirty cone → undo; no clone, no full re-time)
+   and assess them at golden accuracy — paper Line 4;
 4. commit the best actually-improving move (that also keeps local skew
    non-degraded); otherwise try the next ``R`` moves;
 5. stop when no candidate shows predicted reduction, the batch budget is
@@ -29,7 +30,7 @@ import numpy as np
 
 from repro.core.ml.features import SIDE_EFFECT_VARIANT, MoveFeatures, extract_features
 from repro.core.ml.training import DeltaLatencyPredictor
-from repro.core.moves import Move, MoveType, apply_move, enumerate_moves
+from repro.core.moves import Move, MoveType, enumerate_moves
 from repro.core.objective import SkewVariationProblem
 from repro.netlist.tree import ClockTree
 from repro.sta.skew import worst_pair_variation
@@ -116,21 +117,15 @@ class LocalOptimizer:
                 outcomes = []
                 for predicted, features in batch:
                     evaluated += 1
-                    trial = current.clone()
-                    apply_move(
-                        trial,
-                        problem.design.legalizer,
-                        problem.design.library,
-                        features.move,
-                    )
-                    trial_result = problem.evaluate(trial)
-                    outcomes.append((trial_result, trial, predicted, features))
+                    # Trial in place: the incremental engine re-times only
+                    # the move's dirty cone, then the move is undone.
+                    trial_result = problem.evaluate_move(current, features.move)
+                    outcomes.append((trial_result, predicted, features))
                 best = self._pick_best(outcomes, result)
                 if best is not None:
-                    trial_result, trial, predicted, features = best
+                    trial_result, predicted, features = best
                     actual_red = result.total_variation - trial_result.total_variation
-                    current = trial
-                    result = trial_result
+                    result = problem.commit_move(current, features.move)
                     history.append(
                         IterationRecord(
                             iteration=iteration,
@@ -317,11 +312,8 @@ def random_move_baseline(
         if not moves:
             break
         move = moves[int(rng.integers(len(moves)))]
-        trial = current.clone()
-        apply_move(trial, problem.design.legalizer, library, move)
-        trial_result = problem.evaluate(trial)
+        trial_result = problem.evaluate_move(current, move)
         if trial_result.total_variation < result.total_variation:
-            current = trial
-            result = trial_result
+            result = problem.commit_move(current, move)
         trace.append(result.total_variation)
     return trace

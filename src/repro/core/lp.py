@@ -107,17 +107,25 @@ def build_model_data(
     pairs: Sequence[Tuple[int, int]],
     alphas: Mapping[str, float],
     stage_luts: Mapping[str, StageDelayLUT],
+    timings: Optional[Dict[str, CornerTiming]] = None,
 ) -> LPModelData:
-    """Measure the tree and assemble the LP inputs."""
+    """Measure the tree and assemble the LP inputs.
+
+    Pass ``timings`` (e.g. from the incremental engine's
+    ``corner_timings``) to reuse an analysis already in hand; otherwise
+    the golden ``timer`` measures the tree here.
+    """
     library = timer.library
     corners = library.corners
     corner_names = tuple(c.name for c in corners)
     arcs = extract_arcs(tree)
     sinks = tree.sinks()
 
-    timings: Dict[str, CornerTiming] = {}
-    for corner in corners:
-        timings[corner.name] = timer.analyze_corner(tree, corner)
+    if timings is None:
+        timings = {
+            corner.name: timer.analyze_corner(tree, corner)
+            for corner in corners
+        }
 
     n_arcs = len(arcs)
     arc_delay = np.zeros((n_arcs, len(corner_names)))

@@ -18,8 +18,8 @@ matching the paper's Figure 6 setup (114 buffers x 45 moves).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.eco.legalize import Legalizer
 from repro.eco.operators import apply_displacement, apply_sizing, apply_tree_surgery
@@ -174,3 +174,90 @@ def apply_move(
             tree.node(move.child).size, move.child_size_step
         )
         apply_sizing(tree, move.child, new_size)
+
+
+@dataclass(frozen=True)
+class MoveUndo:
+    """Inverse of one applied move, plus its dirty timing frontier.
+
+    ``dirty`` names the drivers whose net *geometry or cell bindings*
+    changed: the incremental timer re-propagates outward from exactly
+    this set (slew-driven cascades follow automatically).  The restore
+    fields capture pre-move state verbatim, so :func:`undo_move` puts
+    every float back bit-exactly — which is what lets the incremental
+    timer keep its attached state across a preview round-trip.
+    """
+
+    move: Move
+    dirty: FrozenSet[int]
+    restore_location: Optional[Tuple[int, Point]] = None
+    restore_vias: Tuple[Tuple[int, Tuple[Point, ...]], ...] = ()
+    restore_sizes: Tuple[Tuple[int, int], ...] = ()
+    restore_parent: Optional[Tuple[int, int, int, Tuple[Point, ...]]] = None
+
+
+def apply_move_undoable(
+    tree: ClockTree, legalizer: Legalizer, library: Library, move: Move
+) -> MoveUndo:
+    """Apply ``move`` in place and return the exact inverse.
+
+    Unlike the clone-per-trial pattern, this enables O(move-cone) trial
+    evaluation: apply, let the incremental timer re-time the dirty
+    frontier, then :func:`undo_move`.
+    """
+    buffer = move.buffer
+    if move.type is MoveType.SURGERY:
+        old_parent = tree.parent(buffer)
+        old_index = tree.children(old_parent).index(buffer)
+        old_via = tree.node(buffer).via
+        apply_tree_surgery(tree, buffer, move.new_parent)
+        return MoveUndo(
+            move=move,
+            dirty=frozenset((old_parent, move.new_parent)),
+            restore_parent=(buffer, old_parent, old_index, old_via),
+        )
+
+    node = tree.node(buffer)
+    parent = tree.parent(buffer)
+    old_location = node.location
+    vias = [(buffer, node.via)]
+    vias += [(child, tree.node(child).via) for child in tree.children(buffer)]
+    sizes: List[Tuple[int, int]] = []
+    dirty = {parent, buffer}
+
+    apply_displacement(tree, legalizer, buffer, move.dx, move.dy)
+    if move.type is MoveType.SIZING_DISPLACE and move.size_step:
+        sizes.append((buffer, node.size))
+        apply_sizing(tree, buffer, library.step_size(node.size, move.size_step))
+    elif move.type is MoveType.CHILD_SIZING and move.child is not None:
+        child_node = tree.node(move.child)
+        sizes.append((move.child, child_node.size))
+        apply_sizing(
+            tree,
+            move.child,
+            library.step_size(child_node.size, move.child_size_step),
+        )
+        dirty.add(move.child)
+    return MoveUndo(
+        move=move,
+        dirty=frozenset(dirty),
+        restore_location=(buffer, old_location),
+        restore_vias=tuple(vias),
+        restore_sizes=tuple(sizes),
+    )
+
+
+def undo_move(tree: ClockTree, undo: MoveUndo) -> None:
+    """Revert an :func:`apply_move_undoable` application bit-exactly."""
+    if undo.restore_parent is not None:
+        nid, old_parent, index, via = undo.restore_parent
+        tree.reassign_parent(nid, old_parent, index=index)
+        tree.set_edge_via(nid, via)
+        return
+    for nid, size in undo.restore_sizes:
+        tree.resize_buffer(nid, size)
+    if undo.restore_location is not None:
+        nid, location = undo.restore_location
+        tree.move_node(nid, location)
+    for child, via in undo.restore_vias:
+        tree.set_edge_via(child, via)

@@ -18,13 +18,26 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.design import Design
 from repro.netlist.tree import ClockTree
+from repro.sta.incremental import IncrementalTimer
 from repro.sta.skew import SkewAnalysis
-from repro.sta.timer import GoldenTimer, TimingResult
+from repro.sta.timer import CornerTiming, GoldenTimer, TimingResult
 
 
 @dataclass
 class SkewVariationProblem:
-    """A frozen optimization instance: design + timer + baseline snapshot."""
+    """A frozen optimization instance: design + timer + baseline snapshot.
+
+    Two timing engines serve every evaluation need:
+
+    * ``timer`` — the :class:`GoldenTimer` oracle.  It defines the
+      baseline and remains the arbiter of "actual" values (use
+      :meth:`evaluate_golden` to consult it directly).
+    * :meth:`engine` — an :class:`IncrementalTimer` producing the same
+      numbers (differential-tested to 1e-9 ps) with per-net caching and
+      dirty-frontier re-propagation.  :meth:`evaluate`,
+      :meth:`evaluate_move` and :meth:`commit_move` route through it, so
+      candidate-move trials no longer clone and re-time the whole tree.
+    """
 
     design: Design
     timer: GoldenTimer
@@ -46,9 +59,68 @@ class SkewVariationProblem:
     def pairs(self) -> List[Tuple[int, int]]:
         return self.design.pairs
 
+    def engine(self) -> IncrementalTimer:
+        """The shared incremental timing engine (created on first use)."""
+        engine = self.__dict__.get("_engine")
+        if engine is None:
+            engine = IncrementalTimer(
+                self.design.library,
+                wire_metric=self.timer.wire_metric,
+                segment_um=self.timer.segment_um,
+            )
+            self.__dict__["_engine"] = engine
+        return engine
+
     def evaluate(self, tree: ClockTree) -> TimingResult:
-        """Golden-time ``tree`` against the baseline normalization."""
+        """Time ``tree`` against the baseline normalization.
+
+        Served by the incremental engine (net-cached full propagation —
+        numerically the golden result; see ``tests/test_incremental_timer``).
+        """
+        return self.engine().time_tree(tree, self.design.pairs, alphas=self.alphas)
+
+    def evaluate_golden(self, tree: ClockTree) -> TimingResult:
+        """Time ``tree`` with the golden oracle (no caching)."""
         return self.timer.time_tree(tree, self.design.pairs, alphas=self.alphas)
+
+    def corner_timings(self, tree: ClockTree) -> Dict[str, CornerTiming]:
+        """Per-corner timing artifacts of ``tree`` (incremental engine)."""
+        return self.engine().corner_timings(tree)
+
+    def evaluate_move(self, tree: ClockTree, move) -> TimingResult:
+        """Trial-evaluate one local move on ``tree`` without cloning.
+
+        Applies the move in place, re-times only its dirty cone, then
+        undoes it bit-exactly: ``tree`` is unchanged on return, and the
+        engine keeps its attached state for the next candidate.
+        """
+        from repro.core.moves import apply_move_undoable, undo_move
+
+        engine = self.engine()
+        engine.ensure(tree)
+        undo = apply_move_undoable(
+            tree, self.design.legalizer, self.design.library, move
+        )
+        try:
+            return engine.preview(
+                tree, undo.dirty, self.design.pairs, alphas=self.alphas
+            )
+        finally:
+            undo_move(tree, undo)
+            engine.rebase(tree)
+
+    def commit_move(self, tree: ClockTree, move) -> TimingResult:
+        """Apply ``move`` to ``tree`` for good and return its timing."""
+        from repro.core.moves import apply_move_undoable
+
+        engine = self.engine()
+        engine.ensure(tree)
+        undo = apply_move_undoable(
+            tree, self.design.legalizer, self.design.library, move
+        )
+        return engine.advance(
+            tree, undo.dirty, self.design.pairs, alphas=self.alphas
+        )
 
     def objective(self, tree: ClockTree) -> float:
         """Sum of skew variations of ``tree`` (ps, baseline-normalized)."""

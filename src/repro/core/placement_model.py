@@ -145,23 +145,33 @@ def fit_location_model(
     )
 
 
-def apply_location_model(
-    problem: SkewVariationProblem,
-    tree: ClockTree,
-    model: LocationModel,
-) -> Tuple[ClockTree, TimingResult]:
-    """Move the buffer to the model's optimum (on a clone) and golden-time it."""
-    trial = tree.clone()
+def _model_move(model: LocationModel) -> Move:
     dx, dy = model.optimal_offset
-    move = Move(
+    return Move(
         type=MoveType.SIZING_DISPLACE,
         buffer=model.buffer,
         dx=dx,
         dy=dy,
         size_step=0,
     )
+
+
+def apply_location_model(
+    problem: SkewVariationProblem,
+    tree: ClockTree,
+    model: LocationModel,
+) -> Tuple[ClockTree, TimingResult]:
+    """Move the buffer to the model's optimum (on a clone) and time it.
+
+    The timing comes from the incremental engine's trial evaluation of
+    ``tree`` (golden-accurate, move-cone cost); the clone only
+    materializes the moved state for the caller.
+    """
+    move = _model_move(model)
+    result = problem.evaluate_move(tree, move)
+    trial = tree.clone()
     apply_move(trial, problem.design.legalizer, problem.design.library, move)
-    return trial, problem.evaluate(trial)
+    return trial, result
 
 
 def refine_buffers(
@@ -188,14 +198,14 @@ def refine_buffers(
         )
         if model.predicted_reduction_ps < min_predicted_ps:
             continue
-        trial, trial_result = apply_location_model(problem, current, model)
+        move = _model_move(model)
+        trial_result = problem.evaluate_move(current, move)
         if (
             trial_result.total_variation < result.total_variation
             and not trial_result.skews.degraded_local_skew(
                 problem.baseline.skews, tol_ps=0.5
             )
         ):
-            current = trial
-            result = trial_result
+            result = problem.commit_move(current, move)
             accepted.append(model)
     return current, accepted

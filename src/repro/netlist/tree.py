@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -75,6 +76,20 @@ class ClockTree:
         self._children: Dict[int, List[int]] = {}
         self._root: Optional[int] = None
         self._next_id = 0
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped by every mutating operation, so incremental consumers (the
+        incremental timer's attached state) can cheaply detect that a tree
+        changed behind their back and fall back to a full re-analysis.
+        """
+        return self._revision
+
+    def _touch(self) -> None:
+        self._revision += 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -93,6 +108,7 @@ class ClockTree:
         self._parent[nid] = None
         self._children[nid] = []
         self._root = nid
+        self._touch()
         return nid
 
     def add_buffer(self, parent: int, location: Point, size: int) -> int:
@@ -105,6 +121,7 @@ class ClockTree:
         self._parent[nid] = parent
         self._children[nid] = []
         self._children[parent].append(nid)
+        self._touch()
         return nid
 
     def add_sink(self, parent: int, location: Point) -> int:
@@ -117,6 +134,7 @@ class ClockTree:
         self._parent[nid] = parent
         self._children[nid] = []
         self._children[parent].append(nid)
+        self._touch()
         return nid
 
     # ------------------------------------------------------------------
@@ -202,12 +220,22 @@ class ClockTree:
     def topological_order(self) -> List[int]:
         """Root-first order (BFS)."""
         order: List[int] = []
-        queue = [self.root]
+        queue = deque((self.root,))
         while queue:
-            nid = queue.pop(0)
+            nid = queue.popleft()
             order.append(nid)
             queue.extend(self._children[nid])
         return order
+
+    def depth(self, nid: int) -> int:
+        """Number of edges from the root to ``nid``."""
+        self._require(nid)
+        depth = 0
+        cur = self._parent[nid]
+        while cur is not None:
+            depth += 1
+            cur = self._parent[cur]
+        return depth
 
     # ------------------------------------------------------------------
     # Edge geometry
@@ -229,6 +257,7 @@ class ClockTree:
         if self._parent[child] is None:
             raise ValueError("the root has no incoming edge")
         self._nodes[child].via = tuple(via)
+        self._touch()
 
     def clear_edge_via(self, child: int) -> None:
         """Restore a direct route for the edge into ``child``."""
@@ -255,6 +284,7 @@ class ClockTree:
         if not node.is_buffer:
             raise ValueError("only buffers may be displaced")
         node.location = location
+        self._touch()
 
     def resize_buffer(self, nid: int, size: int) -> None:
         """Change a buffer's inverter-pair drive size."""
@@ -262,12 +292,17 @@ class ClockTree:
         if not node.is_buffer:
             raise ValueError(f"node {nid} is not a buffer")
         node.size = size
+        self._touch()
 
-    def reassign_parent(self, nid: int, new_parent: int) -> None:
+    def reassign_parent(
+        self, nid: int, new_parent: int, index: Optional[int] = None
+    ) -> None:
         """Tree surgery: detach ``nid`` from its driver and attach elsewhere.
 
         Rejects reassignments that would create a cycle (new parent inside
-        the moved subtree) or drive from a sink.
+        the moved subtree) or drive from a sink.  ``index`` positions the
+        node inside the new parent's fanout list (default: append); undo
+        paths use it to restore the original child ordering exactly.
         """
         self._require(nid)
         self._require(new_parent)
@@ -281,9 +316,13 @@ class ClockTree:
         if old_parent == new_parent:
             return
         self._children[old_parent].remove(nid)
-        self._children[new_parent].append(nid)
+        if index is None:
+            self._children[new_parent].append(nid)
+        else:
+            self._children[new_parent].insert(index, nid)
         self._parent[nid] = new_parent
         self._nodes[nid].via = ()
+        self._touch()
 
     def insert_buffer_on_edge(self, child: int, location: Point, size: int) -> int:
         """Insert a buffer between ``child`` and its current parent.
@@ -302,6 +341,7 @@ class ClockTree:
         self._children[parent][idx] = nid
         self._parent[child] = nid
         self._nodes[child].via = ()
+        self._touch()
         return nid
 
     def remove_buffer(self, nid: int) -> None:
@@ -319,6 +359,7 @@ class ClockTree:
         del self._children[nid]
         del self._parent[nid]
         del self._nodes[nid]
+        self._touch()
 
     @staticmethod
     def restore(
@@ -363,6 +404,7 @@ class ClockTree:
         other._children = {nid: list(kids) for nid, kids in self._children.items()}
         other._root = self._root
         other._next_id = self._next_id
+        other._revision = self._revision
         return other
 
     # ------------------------------------------------------------------

@@ -92,6 +92,14 @@ class GoldenTimer:
     def library(self) -> Library:
         return self._library
 
+    @property
+    def wire_metric(self) -> str:
+        return self._wire_metric
+
+    @property
+    def segment_um(self) -> float:
+        return self._segment_um
+
     def analyze_corner(self, tree: ClockTree, corner: Corner) -> CornerTiming:
         """Propagate arrivals and slews through ``tree`` at one corner."""
         lib = self._library
@@ -172,33 +180,46 @@ class GoldenTimer:
             edge_elmore=edge_elmore,
         )
 
+    def analyze_all_corners(self, tree: ClockTree) -> Dict[str, CornerTiming]:
+        """One :meth:`analyze_corner` per library corner, keyed by name.
+
+        The shared primitive behind :meth:`latencies` and
+        :meth:`time_tree`, so callers that need both sink latencies and
+        the per-corner artifacts run the per-corner analysis exactly once.
+        """
+        return {
+            corner.name: self.analyze_corner(tree, corner)
+            for corner in self._library.corners
+        }
+
     def latencies(self, tree: ClockTree) -> Dict[str, Dict[int, float]]:
         """Sink latency per corner name: ``{corner: {sink id: latency ps}}``."""
         sinks = tree.sinks()
-        out: Dict[str, Dict[int, float]] = {}
-        for corner in self._library.corners:
-            timing = self.analyze_corner(tree, corner)
-            out[corner.name] = {s: timing.arrival[s] for s in sinks}
-        return out
+        return {
+            name: {s: timing.arrival[s] for s in sinks}
+            for name, timing in self.analyze_all_corners(tree).items()
+        }
 
     def time_tree(
         self,
         tree: ClockTree,
         pairs: Sequence[Tuple[int, int]],
         alphas: Optional[Mapping[str, float]] = None,
+        timings: Optional[Dict[str, CornerTiming]] = None,
     ) -> TimingResult:
         """Full analysis: per-corner timing plus the skew-variation snapshot.
 
         Pass the baseline tree's ``alphas`` when evaluating an optimized
         tree so objectives are compared on a common normalization scale.
+        Pass ``timings`` (from :meth:`analyze_all_corners`) to reuse an
+        analysis already in hand instead of re-running it.
         """
-        per_corner: Dict[str, CornerTiming] = {}
-        latencies: Dict[str, Dict[int, float]] = {}
+        per_corner = timings or self.analyze_all_corners(tree)
         sinks = tree.sinks()
-        for corner in self._library.corners:
-            timing = self.analyze_corner(tree, corner)
-            per_corner[corner.name] = timing
-            latencies[corner.name] = {s: timing.arrival[s] for s in sinks}
+        latencies: Dict[str, Dict[int, float]] = {
+            name: {s: timing.arrival[s] for s in sinks}
+            for name, timing in per_corner.items()
+        }
         skews = SkewAnalysis.from_latencies(
             latencies, list(pairs), self._library.corners, alphas
         )
