@@ -108,6 +108,10 @@ def test_bench_timer_perf_cls1():
     )
     assert record["max_objective_err_ps"] <= TOL_PS
     assert record["speedup"] >= 5.0, record
+    # The gate memo keys on quantized (slew, load): at this scale the
+    # cascade tails must actually recur (a zero here means the key has
+    # regressed to raw floats that never repeat).
+    assert record["engine_stats"]["gate_hits"] > 0, record["engine_stats"]
 
 
 def test_bench_timer_perf_smoke():

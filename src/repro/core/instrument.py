@@ -1,0 +1,50 @@
+"""Lightweight per-stage instrumentation for hot optimization loops.
+
+:class:`StageTimers` accumulates wall-clock time and invocation counts
+per named stage with context-manager ergonomics::
+
+    timers = StageTimers()
+    with timers.stage("featurize"):
+        ...
+
+The accumulated numbers are cheap enough to leave on unconditionally;
+``LocalOptResult.stats`` and the perf benchmarks surface them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class StageTimers:
+    """Accumulates elapsed seconds and call counts per stage name."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, other: "StageTimers") -> None:
+        """Merge another accumulator into this one."""
+        for name, sec in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + sec
+        for name, cnt in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + cnt
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly snapshot: ``{"seconds": {...}, "counts": {...}}``."""
+        return {
+            "seconds": {k: round(v, 6) for k, v in sorted(self.seconds.items())},
+            "counts": dict(sorted(self.counts.items())),
+        }

@@ -28,7 +28,9 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.instrument import StageTimers
 from repro.core.ml.features import SIDE_EFFECT_VARIANT, MoveFeatures, extract_features
+from repro.core.ml.pipeline import CandidatePipeline
 from repro.core.ml.training import DeltaLatencyPredictor
 from repro.core.moves import Move, MoveType, enumerate_moves
 from repro.core.objective import SkewVariationProblem
@@ -48,6 +50,11 @@ class LocalOptConfig:
     buffers_per_iteration: Optional[int] = None  # None = all buffers
     surgery_window_um: float = 50.0
     local_skew_tolerance_ps: float = 0.5
+    #: Use the incremental batched candidate pipeline (cross-iteration
+    #: feature caching + vectorized assembly + one-call inference).
+    #: ``False`` runs the original per-move ``extract_features`` path;
+    #: both produce identical committed-move trajectories.
+    use_pipeline: bool = True
 
 
 @dataclass(frozen=True)
@@ -66,12 +73,20 @@ class IterationRecord:
 
 @dataclass
 class LocalOptResult:
-    """Outcome of a local optimization run."""
+    """Outcome of a local optimization run.
+
+    ``stats`` carries the run's observability payload: per-stage wall
+    clock (``stage``), candidate-pipeline cache counters (``pipeline``,
+    ``None`` on the legacy path) and incremental-engine counters
+    (``engine``) — what ``benchmarks/test_bench_localopt_perf.py`` dumps
+    to ``BENCH_localopt.json``.
+    """
 
     tree: ClockTree
     history: List[IterationRecord]
     initial_objective_ps: float
     final_objective_ps: float
+    stats: Optional[Dict[str, object]] = None
 
     @property
     def total_reduction_ps(self) -> float:
@@ -100,10 +115,14 @@ class LocalOptimizer:
         result = problem.evaluate(current)
         history: List[IterationRecord] = []
         initial = result.total_variation
+        timers = StageTimers()
+        pipeline = (
+            CandidatePipeline(problem.design.library) if cfg.use_pipeline else None
+        )
 
         for iteration in range(cfg.max_iterations):
             started = time.time()
-            ranked = self._rank_moves(current, result)
+            ranked = self._rank_moves(current, result, pipeline, timers)
             if not ranked:
                 break
             committed = False
@@ -115,17 +134,24 @@ class LocalOptimizer:
                 batches += 1
                 batch = ranked[start : start + cfg.top_r]
                 outcomes = []
-                for predicted, features in batch:
-                    evaluated += 1
-                    # Trial in place: the incremental engine re-times only
-                    # the move's dirty cone, then the move is undone.
-                    trial_result = problem.evaluate_move(current, features.move)
-                    outcomes.append((trial_result, predicted, features))
+                with timers.stage("trial"):
+                    for predicted, features in batch:
+                        evaluated += 1
+                        # Trial in place: the incremental engine re-times
+                        # only the move's dirty cone, then the move is
+                        # undone.
+                        trial_result = problem.evaluate_move(
+                            current, features.move
+                        )
+                        outcomes.append((trial_result, predicted, features))
                 best = self._pick_best(outcomes, result)
                 if best is not None:
                     trial_result, predicted, features = best
                     actual_red = result.total_variation - trial_result.total_variation
-                    result = problem.commit_move(current, features.move)
+                    with timers.stage("commit"):
+                        result = problem.commit_move(current, features.move)
+                        if pipeline is not None:
+                            self._invalidate_pipeline(pipeline, features.move)
                     history.append(
                         IterationRecord(
                             iteration=iteration,
@@ -143,11 +169,36 @@ class LocalOptimizer:
             if not committed:
                 break
 
+        stats: Dict[str, object] = {
+            "stage": timers.as_dict(),
+            "pipeline": pipeline.cache_stats() if pipeline is not None else None,
+            "engine": dict(problem.engine().stats),
+        }
         return LocalOptResult(
             tree=current,
             history=history,
             initial_objective_ps=initial,
             final_objective_ps=result.total_variation,
+            stats=stats,
+        )
+
+    def _invalidate_pipeline(
+        self, pipeline: CandidatePipeline, move: Move
+    ) -> None:
+        """Drop cached featurizations the committed ``move`` stales.
+
+        The incremental engine records exactly which nodes the commit
+        re-timed (``last_touched``); surgery additionally changes subtree
+        membership, which flushes the move cache wholesale.
+        """
+        touched = self._problem.engine().last_touched
+        if touched is None:
+            pipeline.flush()
+            return
+        pipeline.invalidate(
+            touched_local=touched[0],
+            touched_arrival=touched[1],
+            structural=move.type is MoveType.SURGERY,
         )
 
     # ------------------------------------------------------------------
@@ -196,34 +247,57 @@ class LocalOptimizer:
         return [nid for _, nid in scored[:cap]]
 
     def _rank_moves(
-        self, tree: ClockTree, result: TimingResult
+        self,
+        tree: ClockTree,
+        result: TimingResult,
+        pipeline: Optional[CandidatePipeline] = None,
+        timers: Optional[StageTimers] = None,
     ) -> List[Tuple[float, MoveFeatures]]:
-        """Featurize, predict, and rank all candidate moves."""
+        """Featurize, predict, and rank all candidate moves.
+
+        With a ``pipeline``, featurization goes through the incremental
+        component cache and vectorized assembly, and inference consumes
+        the per-corner matrices in one call per model.  Without one, the
+        original per-move path runs.  Both paths produce numerically
+        identical rankings (same floats, same stable sort).
+        """
         cfg = self._config
         problem = self._problem
         library = problem.design.library
+        timers = timers or StageTimers()
         buffers = self._select_buffers(tree, result)
-        moves = enumerate_moves(
-            tree,
-            library,
-            buffers=buffers,
-            surgery_window_um=cfg.surgery_window_um,
-        )
+        with timers.stage("enumerate"):
+            moves = enumerate_moves(
+                tree,
+                library,
+                buffers=buffers,
+                surgery_window_um=cfg.surgery_window_um,
+            )
         if not moves:
             return []
-        features = [
-            extract_features(tree, library, result.per_corner, move)
-            for move in moves
-        ]
-        predictions = self._predictor.predict_batch(features)
+        if pipeline is not None:
+            with timers.stage("featurize"):
+                batch = pipeline.featurize(tree, result.per_corner, moves)
+            features: Sequence = batch.components
+            with timers.stage("predict"):
+                predictions = self._predictor.predict_matrix(batch)
+        else:
+            with timers.stage("featurize"):
+                features = [
+                    extract_features(tree, library, result.per_corner, move)
+                    for move in moves
+                ]
+            with timers.stage("predict"):
+                predictions = self._predictor.predict_batch(features)
         ranked: List[Tuple[float, MoveFeatures]] = []
-        for feats, pred in zip(features, predictions):
-            reduction = predicted_variation_reduction(
-                problem, tree, result, feats, pred
-            )
-            if reduction > cfg.min_predicted_reduction_ps:
-                ranked.append((reduction, feats))
-        ranked.sort(key=lambda item: -item[0])
+        with timers.stage("score"):
+            for feats, pred in zip(features, predictions):
+                reduction = predicted_variation_reduction(
+                    problem, tree, result, feats, pred
+                )
+                if reduction > cfg.min_predicted_reduction_ps:
+                    ranked.append((reduction, feats))
+            ranked.sort(key=lambda item: -item[0])
         return ranked
 
 

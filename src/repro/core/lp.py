@@ -202,6 +202,12 @@ class GlobalSkewLP:
         self._n_delta = self._n_arcs * self._n_corners
         self._n_vars = 2 * self._n_delta + self._n_pairs
         self._optimizable = self._realizable_arcs()
+        # Assembly caches: the constraint system is a pure function of
+        # the (frozen) model data except for the Eq. (5) row, so the U
+        # sweep reuses one assembled base matrix and appends that row.
+        self._base_system: Optional[Tuple[sparse.csr_matrix, np.ndarray]] = None
+        self._u_row: Optional[sparse.csr_matrix] = None
+        self._bounds_cache: Optional[List[Tuple[float, Optional[float]]]] = None
 
     #: Relative slack when testing whether an arc's measured cross-corner
     #: ratio sits on the inverter-pair LUT manifold.  Measured ratios
@@ -257,7 +263,9 @@ class GlobalSkewLP:
 
     # -- assembly ----------------------------------------------------------
     def _bounds(self) -> List[Tuple[float, Optional[float]]]:
-        """Variable bounds implementing Eq. (10)."""
+        """Variable bounds implementing Eq. (10) (computed once)."""
+        if self._bounds_cache is not None:
+            return self._bounds_cache
         d = self._d
         bounds: List[Tuple[float, Optional[float]]] = [(0.0, 0.0)] * self._n_vars
         for j in range(self._n_arcs):
@@ -270,6 +278,7 @@ class GlobalSkewLP:
                 bounds[self._im(j, k)] = (0.0, down)
         for p in range(self._n_pairs):
             bounds[self._iv(p)] = (0.0, None)
+        self._bounds_cache = bounds
         return bounds
 
     def _add_delta_row(
@@ -293,6 +302,30 @@ class GlobalSkewLP:
     def _assemble(
         self, upper_bound: Optional[float]
     ) -> Tuple[sparse.csr_matrix, np.ndarray]:
+        """Constraint system for one solve.
+
+        The Eq. (6)-(11) base system is assembled once and cached; each
+        sweep point only appends the single Eq. (5) row (``sum V <= U``)
+        — the one part of the system that depends on ``upper_bound``.
+        """
+        base_matrix, base_rhs = self._assemble_base()
+        if upper_bound is None:
+            return base_matrix, base_rhs
+        if self._u_row is None:
+            u_cols = [self._iv(p) for p in range(self._n_pairs)]
+            self._u_row = sparse.coo_matrix(
+                (
+                    np.ones(self._n_pairs),
+                    (np.zeros(self._n_pairs, dtype=int), u_cols),
+                ),
+                shape=(1, self._n_vars),
+            ).tocsr()
+        matrix = sparse.vstack([base_matrix, self._u_row], format="csr")
+        return matrix, np.append(base_rhs, upper_bound)
+
+    def _assemble_base(self) -> Tuple[sparse.csr_matrix, np.ndarray]:
+        if self._base_system is not None:
+            return self._base_system
         d = self._d
         rows: List[int] = []
         cols: List[int] = []
@@ -390,19 +423,11 @@ class GlobalSkewLP:
                     rhs.append(d.arc_delay[j, k] - wmin * d.arc_delay[j, k2])
                     row += 1
 
-        # Eq. (5): sum of V <= U (only in the delta-minimizing phase).
-        if upper_bound is not None:
-            for p in range(self._n_pairs):
-                rows.append(row)
-                cols.append(self._iv(p))
-                vals.append(1.0)
-            rhs.append(upper_bound)
-            row += 1
-
         matrix = sparse.coo_matrix(
             (vals, (rows, cols)), shape=(row, self._n_vars)
         ).tocsr()
-        return matrix, np.asarray(rhs)
+        self._base_system = (matrix, np.asarray(rhs))
+        return self._base_system
 
     # -- solves ------------------------------------------------------------
     def _solve(

@@ -187,6 +187,105 @@ def time_net(
     )
 
 
+class AnalyticalCache:
+    """Value-keyed memo for :func:`plan_net` / :func:`time_net` artifacts.
+
+    Keys are pure values — route model, driver location, the ``(id,
+    location, pin-cap)`` child spec, corner name, driver size and input
+    slew — mirroring the per-net signature scheme of
+    ``sta/incremental.py``.  Because the key captures every input the
+    computation reads, entries are *self-validating*: when a committed
+    move changes a net's geometry or slews, the new inputs form a new
+    key and the stale entry is simply never looked up again.  Explicit
+    invalidation is therefore only a memory-bound concern, handled by
+    FIFO eviction at ``max_entries``.
+
+    A cache instance is implicitly scoped to one :class:`Library` (the
+    key does not encode library tables); use one cache per optimization
+    run, as :class:`repro.core.ml.pipeline.CandidatePipeline` does.
+
+    ``sink_weights`` additionally memoizes per-driver subtree sink
+    counts, revalidated against ``tree.structure_revision``.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self.max_entries = max_entries
+        self._plans: Dict[tuple, _NetPlan] = {}
+        self._times: Dict[tuple, NetEstimate] = {}
+        self._weights: Dict[int, Dict[int, int]] = {}
+        self._weights_scope: Optional[Tuple[int, int]] = None
+        self.stats: Dict[str, int] = {
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "time_hits": 0,
+            "time_misses": 0,
+        }
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._times.clear()
+        self._weights.clear()
+        self._weights_scope = None
+
+    def plan_net(
+        self,
+        driver_loc: Point,
+        children: Sequence[Tuple[int, Point, float]],
+        route_model: str,
+    ) -> _NetPlan:
+        key = (route_model, driver_loc, tuple(children))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.stats["plan_hits"] += 1
+            return plan
+        self.stats["plan_misses"] += 1
+        plan = plan_net(driver_loc, children, route_model)
+        if len(self._plans) >= self.max_entries:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+        return plan
+
+    def time_net(
+        self,
+        plan: _NetPlan,
+        library: Library,
+        corner: Corner,
+        driver_size: int,
+        in_slew_ps: float,
+        segment_um: float = ESTIMATE_SEGMENT_UM,
+    ) -> NetEstimate:
+        key = (
+            plan.route_model,
+            plan.driver_loc,
+            plan.children,
+            corner.name,
+            driver_size,
+            in_slew_ps,
+            segment_um,
+        )
+        est = self._times.get(key)
+        if est is not None:
+            self.stats["time_hits"] += 1
+            return est
+        self.stats["time_misses"] += 1
+        est = time_net(plan, library, corner, driver_size, in_slew_ps, segment_um)
+        if len(self._times) >= self.max_entries:
+            self._times.pop(next(iter(self._times)))
+        self._times[key] = est
+        return est
+
+    def sink_weights(self, tree: ClockTree, nid: int) -> Dict[int, int]:
+        scope = (id(tree), tree.structure_revision)
+        if scope != self._weights_scope:
+            self._weights_scope = scope
+            self._weights.clear()
+        weights = self._weights.get(nid)
+        if weights is None:
+            weights = _subtree_sink_weights(tree, nid)
+            self._weights[nid] = weights
+        return weights
+
+
 def estimate_net(
     library: Library,
     corner: Corner,
@@ -244,9 +343,13 @@ def _weighted_child_delta(
     metric: str,
     timing: CornerTiming,
     exclude: Optional[int] = None,
+    cache: Optional[AnalyticalCache] = None,
 ) -> float:
     """Sink-weighted mean change of per-child wire delay on a net."""
-    weights = _subtree_sink_weights(tree, driver)
+    if cache is not None:
+        weights = cache.sink_weights(tree, driver)
+    else:
+        weights = _subtree_sink_weights(tree, driver)
     total_w = 0.0
     total = 0.0
     for child, w in weights.items():
@@ -269,15 +372,18 @@ def estimate_move_impacts(
     timings: Mapping[str, CornerTiming],
     move: Move,
     route_model: str,
+    cache: Optional[AnalyticalCache] = None,
 ) -> Dict[str, MoveImpact]:
     """Estimate a move's impact under one route model, both metrics.
 
     Returns ``{metric: MoveImpact}``.  ``tree`` is the pre-move tree and
-    is never mutated.
+    is never mutated.  An optional :class:`AnalyticalCache` memoizes the
+    route plans and per-corner net evaluations (numerically identical to
+    the uncached path — the cache is value-keyed).
     """
     if move.type is MoveType.SURGERY:
-        return _estimate_surgery(tree, library, timings, move, route_model)
-    return _estimate_displace(tree, library, timings, move, route_model)
+        return _estimate_surgery(tree, library, timings, move, route_model, cache)
+    return _estimate_displace(tree, library, timings, move, route_model, cache)
 
 
 def estimate_move_impact(
@@ -300,8 +406,11 @@ def _estimate_displace(
     timings: Mapping[str, CornerTiming],
     move: Move,
     route_model: str,
+    cache: Optional[AnalyticalCache] = None,
 ) -> Dict[str, MoveImpact]:
     """Types I and II: displacement of the buffer plus a one-step resize."""
+    _plan = cache.plan_net if cache is not None else plan_net
+    _time = cache.time_net if cache is not None else time_net
     b = move.buffer
     parent = tree.parent(b)
     node = tree.node(b)
@@ -325,12 +434,12 @@ def _estimate_displace(
             library.input_cap_ff(child_new_size),
         )
 
-    parent_plan = plan_net(
+    parent_plan = _plan(
         tree.node(parent).location,
         _children_spec(tree, library, parent, overrides={b: (new_loc, new_pin)}),
         route_model,
     )
-    b_plan = plan_net(
+    b_plan = _plan(
         new_loc,
         _children_spec(tree, library, b, overrides=child_overrides),
         route_model,
@@ -352,7 +461,7 @@ def _estimate_displace(
     for corner in library.corners:
         name = corner.name
         timing = timings[name]
-        parent_est = time_net(
+        parent_est = _time(
             parent_plan,
             library,
             corner,
@@ -362,7 +471,7 @@ def _estimate_displace(
         slew_at_b = wire_degraded_slew(
             parent_est.out_slew_ps, parent_est.wire_elmore_ps[b]
         )
-        b_est = time_net(b_plan, library, corner, new_size, slew_at_b)
+        b_est = _time(b_plan, library, corner, new_size, slew_at_b)
 
         d_parent_pair = parent_est.pair_delay_ps - timing.driver_delay[parent]
         d_b_pair = b_est.pair_delay_ps - timing.driver_delay.get(b, 0.0)
@@ -378,7 +487,11 @@ def _estimate_displace(
                 child_slew,
                 timing.driver_load.get(resized_child, 0.0),
             )
-            weights = _subtree_sink_weights(tree, b)
+            weights = (
+                cache.sink_weights(tree, b)
+                if cache is not None
+                else _subtree_sink_weights(tree, b)
+            )
             share = weights.get(resized_child, 1) / max(sum(weights.values()), 1)
             d_child_pair = share * (
                 child_pair.delay_ps - timing.driver_delay.get(resized_child, 0.0)
@@ -388,7 +501,9 @@ def _estimate_displace(
             d_wire_to_b = parent_est.delay_to(b, metric) - timing.edge_delay.get(
                 b, 0.0
             )
-            d_b_wire = _weighted_child_delta(tree, b, b_est, metric, timing)
+            d_b_wire = _weighted_child_delta(
+                tree, b, b_est, metric, timing, cache=cache
+            )
             out[metric].subtree[name] = (
                 d_parent_pair + d_wire_to_b + d_b_pair + d_b_wire + d_child_pair
             )
@@ -396,7 +511,7 @@ def _estimate_displace(
             out[metric].old_siblings[name] = (
                 d_parent_pair
                 + _weighted_child_delta(
-                    tree, parent, parent_est, metric, timing, exclude=b
+                    tree, parent, parent_est, metric, timing, exclude=b, cache=cache
                 )
             )
             out[metric].new_siblings[name] = 0.0
@@ -423,8 +538,11 @@ def _estimate_surgery(
     timings: Mapping[str, CornerTiming],
     move: Move,
     route_model: str,
+    cache: Optional[AnalyticalCache] = None,
 ) -> Dict[str, MoveImpact]:
     """Type III: reassign buffer ``b`` from its parent to ``new_parent``."""
+    _plan = cache.plan_net if cache is not None else plan_net
+    _time = cache.time_net if cache is not None else time_net
     b = move.buffer
     old_parent = tree.parent(b)
     new_parent = move.new_parent
@@ -436,11 +554,11 @@ def _estimate_surgery(
         tree, library, new_parent, extra=[(b, b_node.location, b_pin)]
     )
     old_plan = (
-        plan_net(tree.node(old_parent).location, old_spec, route_model)
+        _plan(tree.node(old_parent).location, old_spec, route_model)
         if old_spec
         else None
     )
-    new_plan = plan_net(tree.node(new_parent).location, new_spec, route_model)
+    new_plan = _plan(tree.node(new_parent).location, new_spec, route_model)
 
     out: Dict[str, MoveImpact] = {
         m: MoveImpact(
@@ -460,7 +578,7 @@ def _estimate_surgery(
 
         d_old = {m: 0.0 for m in DELAY_METRICS}
         if old_plan is not None:
-            old_est = time_net(
+            old_est = _time(
                 old_plan,
                 library,
                 corner,
@@ -470,10 +588,10 @@ def _estimate_surgery(
             base = old_est.pair_delay_ps - timing.driver_delay[old_parent]
             for m in DELAY_METRICS:
                 d_old[m] = base + _weighted_child_delta(
-                    tree, old_parent, old_est, m, timing, exclude=b
+                    tree, old_parent, old_est, m, timing, exclude=b, cache=cache
                 )
 
-        new_est = time_net(
+        new_est = _time(
             new_plan,
             library,
             corner,
@@ -513,7 +631,7 @@ def _estimate_surgery(
             ) - timing.arrival[b]
             out[m].old_siblings[name] = d_old[m]
             out[m].new_siblings[name] = d_new_pair + _weighted_child_delta(
-                tree, new_parent, new_est, m, timing, exclude=b
+                tree, new_parent, new_est, m, timing, exclude=b, cache=cache
             )
         if name == library.corners.nominal.name:
             nets_nominal["net"] = new_est

@@ -62,6 +62,14 @@ class ANNRegressor:
             activations.append(h)
         return h, activations
 
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without retaining activations (batch inference)."""
+        h = x
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ w + b
+            h = z if i == len(self._weights) - 1 else np.tanh(z)
+        return h
+
     def _backward(
         self, activations: List[np.ndarray], grad_out: np.ndarray
     ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
@@ -153,9 +161,12 @@ class ANNRegressor:
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict targets for rows of ``x``."""
+        """Predict targets for rows of ``x`` (whole batch in one pass)."""
         if self._x_mean is None:
             raise RuntimeError("model is not fitted")
-        xs = (np.asarray(x, dtype=float) - self._x_mean) / self._x_std
-        out, _ = self._forward(xs)
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 0:
+            return np.empty(0)
+        xs = (x - self._x_mean) / self._x_std
+        out = self._forward_inference(xs)
         return out[:, 0] * self._y_std + self._y_mean

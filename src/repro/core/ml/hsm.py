@@ -81,10 +81,14 @@ class HybridSurrogateModel:
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Weighted blend of the base models' predictions."""
+        """Weighted blend of the base models' predictions (one batch call
+        per base model, regardless of batch size)."""
         if not self._models:
             raise RuntimeError("model is not fitted")
-        out = np.zeros(len(np.atleast_2d(x)))
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 0:
+            return np.empty(0)
+        out = np.zeros(x.shape[0])
         for weight, model in zip(self.weights, self._models):
             out = out + weight * model.predict(x)
         return out

@@ -71,10 +71,28 @@ class RBFKernelSVR:
         self._x_train = xs
         return self
 
+    #: Kernel rows materialized per chunk during prediction; bounds the
+    #: ``n_rows x n_train`` kernel block for very large candidate batches.
+    PREDICT_CHUNK_ROWS = 4096
+
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict targets for rows of ``x``."""
+        """Predict targets for rows of ``x``.
+
+        Rows are independent, so chunking changes nothing numerically —
+        it only caps the transient kernel-block allocation.
+        """
         if self._x_train is None:
             raise RuntimeError("model is not fitted")
-        xs = (np.asarray(x, dtype=float) - self._x_mean) / self._x_std
-        k = self._kernel(xs, self._x_train)
-        return k @ self._dual * self._y_std + self._y_mean
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 0:
+            return np.empty(0)
+        xs = (x - self._x_mean) / self._x_std
+        if xs.shape[0] <= self.PREDICT_CHUNK_ROWS:
+            k = self._kernel(xs, self._x_train)
+            return k @ self._dual * self._y_std + self._y_mean
+        out = np.empty(xs.shape[0])
+        for start in range(0, xs.shape[0], self.PREDICT_CHUNK_ROWS):
+            chunk = xs[start : start + self.PREDICT_CHUNK_ROWS]
+            k = self._kernel(chunk, self._x_train)
+            out[start : start + len(chunk)] = k @ self._dual
+        return out * self._y_std + self._y_mean

@@ -134,6 +134,34 @@ class DeltaLatencyPredictor:
             for i in range(len(feature_list))
         ]
 
+    def predict_matrix(self, batch) -> List[Dict[str, float]]:
+        """Predictions from a pre-assembled feature batch.
+
+        ``batch`` is a :class:`repro.core.ml.pipeline.FeatureBatch`: the
+        per-corner design matrices go straight into each corner's model
+        in one call — no per-move vector stacking.  Numerically equal to
+        :meth:`predict_batch` over the same moves (the matrices are bit
+        identical to stacked ``extract_features`` vectors).
+        """
+        components = batch.components
+        if not components:
+            return []
+        if not self.is_learned:
+            # Analytical kinds only read ``impacts`` off each component.
+            return [self.predict_subtree_delta(c) for c in components]
+        col = _anchor_column()
+        per_corner: Dict[str, np.ndarray] = {}
+        for name in self.corner_names:
+            x = batch.matrices[name]
+            pred = self.models[name].predict(x)
+            if self.residual:
+                pred = pred + x[:, col]
+            per_corner[name] = pred
+        return [
+            {name: float(per_corner[name][i]) for name in self.corner_names}
+            for i in range(len(components))
+        ]
+
 
 def train_predictor(
     library: Library,

@@ -77,6 +77,9 @@ class ClockTree:
         self._root: Optional[int] = None
         self._next_id = 0
         self._revision = 0
+        self._structure_revision = 0
+        self._subtree_cache: Dict[int, List[int]] = {}
+        self._subtree_sink_cache: Dict[int, List[int]] = {}
 
     @property
     def revision(self) -> int:
@@ -88,8 +91,25 @@ class ClockTree:
         """
         return self._revision
 
+    @property
+    def structure_revision(self) -> int:
+        """Monotone counter of *connectivity* mutations only.
+
+        Displacements, resizes and via edits bump :attr:`revision` but not
+        this counter; adding/removing nodes and tree surgery bump both.
+        Consumers whose caches depend only on parent/child structure
+        (subtree membership, sink counts) key on this value.
+        """
+        return self._structure_revision
+
     def _touch(self) -> None:
         self._revision += 1
+
+    def _touch_structure(self) -> None:
+        self._revision += 1
+        self._structure_revision += 1
+        self._subtree_cache.clear()
+        self._subtree_sink_cache.clear()
 
     # ------------------------------------------------------------------
     # Construction
@@ -108,7 +128,7 @@ class ClockTree:
         self._parent[nid] = None
         self._children[nid] = []
         self._root = nid
-        self._touch()
+        self._touch_structure()
         return nid
 
     def add_buffer(self, parent: int, location: Point, size: int) -> int:
@@ -121,7 +141,7 @@ class ClockTree:
         self._parent[nid] = parent
         self._children[nid] = []
         self._children[parent].append(nid)
-        self._touch()
+        self._touch_structure()
         return nid
 
     def add_sink(self, parent: int, location: Point) -> int:
@@ -134,7 +154,7 @@ class ClockTree:
         self._parent[nid] = parent
         self._children[nid] = []
         self._children[parent].append(nid)
-        self._touch()
+        self._touch_structure()
         return nid
 
     # ------------------------------------------------------------------
@@ -203,7 +223,14 @@ class ClockTree:
         return sum(1 for n in self.path_to_root(nid) if self._nodes[n].is_buffer)
 
     def subtree_ids(self, nid: int) -> List[int]:
-        """All node ids in the subtree rooted at ``nid`` (pre-order)."""
+        """All node ids in the subtree rooted at ``nid`` (pre-order).
+
+        Memoized until the next connectivity mutation (see
+        :attr:`structure_revision`); treat the returned list as read-only.
+        """
+        cached = self._subtree_cache.get(nid)
+        if cached is not None:
+            return cached
         self._require(nid)
         out: List[int] = []
         stack = [nid]
@@ -211,11 +238,17 @@ class ClockTree:
             cur = stack.pop()
             out.append(cur)
             stack.extend(reversed(self._children[cur]))
+        self._subtree_cache[nid] = out
         return out
 
     def subtree_sinks(self, nid: int) -> List[int]:
-        """Sink ids within the subtree rooted at ``nid``."""
-        return [i for i in self.subtree_ids(nid) if self._nodes[i].is_sink]
+        """Sink ids within the subtree rooted at ``nid`` (memoized; read-only)."""
+        cached = self._subtree_sink_cache.get(nid)
+        if cached is not None:
+            return cached
+        out = [i for i in self.subtree_ids(nid) if self._nodes[i].is_sink]
+        self._subtree_sink_cache[nid] = out
+        return out
 
     def topological_order(self) -> List[int]:
         """Root-first order (BFS)."""
@@ -322,7 +355,7 @@ class ClockTree:
             self._children[new_parent].insert(index, nid)
         self._parent[nid] = new_parent
         self._nodes[nid].via = ()
-        self._touch()
+        self._touch_structure()
 
     def insert_buffer_on_edge(self, child: int, location: Point, size: int) -> int:
         """Insert a buffer between ``child`` and its current parent.
@@ -341,7 +374,7 @@ class ClockTree:
         self._children[parent][idx] = nid
         self._parent[child] = nid
         self._nodes[child].via = ()
-        self._touch()
+        self._touch_structure()
         return nid
 
     def remove_buffer(self, nid: int) -> None:
@@ -359,7 +392,7 @@ class ClockTree:
         del self._children[nid]
         del self._parent[nid]
         del self._nodes[nid]
-        self._touch()
+        self._touch_structure()
 
     @staticmethod
     def restore(
@@ -405,6 +438,9 @@ class ClockTree:
         other._root = self._root
         other._next_id = self._next_id
         other._revision = self._revision
+        other._structure_revision = self._structure_revision
+        other._subtree_cache = {}
+        other._subtree_sink_cache = {}
         return other
 
     # ------------------------------------------------------------------

@@ -44,7 +44,7 @@ from repro.geometry import BBox
 from repro.netlist.tree import ClockNode, ClockTree
 from repro.route.congestion import routed_length_factor
 from repro.route.rc_net import DEFAULT_SEGMENT_UM, EdgeRCCache
-from repro.sta.gate import inverter_pair_timing
+from repro.sta.gate import inverter_pair_timing, quantize_gate_inputs
 from repro.sta.signoff import signoff_gate_factor
 from repro.sta.skew import SkewAnalysis
 from repro.sta.slew import wire_degraded_slew
@@ -157,6 +157,14 @@ class IncrementalTimer:
             "gate_hits": 0,
             "subtree_shifts": 0,
         }
+        #: Nodes touched by the last :meth:`advance`, as ``(local,
+        #: arrival)`` frozensets — *local* means input slew, driver
+        #: delay/load or incoming-edge delay changed (re-evaluated
+        #: drivers plus their fanout), *arrival* means the node's arrival
+        #: moved (including rigid subtree shifts).  ``None`` after
+        #: :meth:`attach`, i.e. "assume everything changed".  Consumed by
+        #: the candidate pipeline's dependency invalidation.
+        self.last_touched: Optional[Tuple[frozenset, frozenset]] = None
 
     # ------------------------------------------------------------------
     # Attachment bookkeeping
@@ -186,6 +194,7 @@ class IncrementalTimer:
         }
         self._tree = tree
         self._stamp = (id(tree), tree.revision)
+        self.last_touched = None
 
     def ensure(self, tree: ClockTree) -> None:
         """Attach to ``tree`` unless the current state already matches."""
@@ -256,9 +265,11 @@ class IncrementalTimer:
         alphas: Optional[Mapping[str, float]] = None,
     ) -> TimingResult:
         """Like :meth:`preview`, but adopt the mutated tree as current."""
-        states = self._retime(tree, dirty)
+        touched = (set(), set())
+        states = self._retime(tree, dirty, touched)
         self._states = states
         self._stamp = (id(tree), tree.revision)
+        self.last_touched = (frozenset(touched[0]), frozenset(touched[1]))
         return self._snapshot(tree, states, pairs, alphas)
 
     # ------------------------------------------------------------------
@@ -300,7 +311,12 @@ class IncrementalTimer:
             state.input_slew[child] = cs
         return ev
 
-    def _retime(self, tree: ClockTree, dirty: Iterable[int]) -> Dict[str, _CornerState]:
+    def _retime(
+        self,
+        tree: ClockTree,
+        dirty: Iterable[int],
+        touched: Optional[Tuple[set, set]] = None,
+    ) -> Dict[str, _CornerState]:
         if self._tree is not tree:
             raise ValueError(
                 "preview/advance requires the attached tree; call ensure() first"
@@ -308,7 +324,7 @@ class IncrementalTimer:
         self.stats["retimes"] += 1
         return {
             corner.name: self._retime_state(
-                tree, corner, self._states[corner.name], set(dirty)
+                tree, corner, self._states[corner.name], set(dirty), touched
             )
             for corner in self._library.corners
         }
@@ -319,6 +335,7 @@ class IncrementalTimer:
         corner: Corner,
         old: _CornerState,
         dirty: set,
+        touched: Optional[Tuple[set, set]] = None,
     ) -> _CornerState:
         state = old.copy()
         heap: List[Tuple[int, int]] = []
@@ -345,10 +362,15 @@ class IncrementalTimer:
                 state.driver_delay.pop(nid, None)
                 state.driver_load.pop(nid, None)
                 state.driver_out_slew.pop(nid, None)
+                if touched is not None:
+                    touched[0].add(nid)
                 continue
             ev = self._net_eval(
                 tree, corner, node, children, state.input_slew[nid]
             )
+            if touched is not None:
+                touched[0].add(nid)
+                touched[0].update(children)
             state.driver_delay[nid] = ev.driver_delay
             state.driver_load[nid] = ev.driver_load
             state.driver_out_slew[nid] = ev.out_slew
@@ -363,6 +385,8 @@ class IncrementalTimer:
                 state.edge_delay[child] = ed
                 state.edge_elmore[child] = ee
                 state.input_slew[child] = cs
+                if touched is not None and new_arrival != old_arrival:
+                    touched[1].add(child)
                 if not tree.children(child):
                     continue
                 if slew_changed or child in scheduled:
@@ -380,6 +404,8 @@ class IncrementalTimer:
                         for sub in tree.subtree_ids(child):
                             if sub != child:
                                 arrival[sub] += delta
+                        if touched is not None:
+                            touched[1].update(tree.subtree_ids(child))
         return state
 
     # ------------------------------------------------------------------
@@ -467,16 +493,24 @@ class IncrementalTimer:
     def _gate_eval(
         self, corner: Corner, size: int, input_slew: float, load_ff: float
     ) -> Tuple[float, float]:
-        """Signoff-corrected inverter-pair delay and output slew, memoized."""
-        key = (corner.name, size, input_slew, load_ff)
+        """Signoff-corrected inverter-pair delay and output slew, memoized.
+
+        Inputs are snapped to the shared gate quantization grid (see
+        :func:`repro.sta.gate.quantize_gate_inputs`) — exactly as the
+        golden timer snaps them — so the memo key is a *quantized* pair
+        that recurs across nets and slew-cascade tails, instead of a raw
+        float pair that never repeats.
+        """
+        gate_slew, gate_load = quantize_gate_inputs(input_slew, load_ff)
+        key = (corner.name, size, gate_slew, gate_load)
         found = self._gate_cache.get(key)
         if found is not None:
             self.stats["gate_hits"] += 1
             return found
         self.stats["gate_evals"] += 1
         cell = self._library.cell(size, corner)
-        pair = inverter_pair_timing(cell, input_slew, load_ff)
-        correction = signoff_gate_factor(size, input_slew, load_ff)
+        pair = inverter_pair_timing(cell, gate_slew, gate_load)
+        correction = signoff_gate_factor(size, gate_slew, gate_load)
         value = (pair.delay_ps * correction, pair.output_slew_ps)
         if len(self._gate_cache) >= self._max_entries:
             for key_old in list(islice(self._gate_cache, self._max_entries // 2)):

@@ -29,7 +29,7 @@ from repro.route.congestion import routed_length_factor
 from repro.route.rc_net import DEFAULT_SEGMENT_UM, star_rc_tree
 from repro.sta.d2m import d2m_delays
 from repro.sta.elmore import elmore_delays
-from repro.sta.gate import inverter_pair_timing
+from repro.sta.gate import inverter_pair_timing, quantize_gate_inputs
 from repro.sta.signoff import signoff_gate_factor
 from repro.sta.skew import SkewAnalysis
 from repro.sta.slew import wire_degraded_slew
@@ -149,10 +149,13 @@ class GoldenTimer:
                 )
                 total_load += wire.segment_cap(length) + pin_cap
 
-            pair = inverter_pair_timing(cell, input_slew[nid], total_load)
+            gate_slew, gate_load = quantize_gate_inputs(
+                input_slew[nid], total_load
+            )
+            pair = inverter_pair_timing(cell, gate_slew, gate_load)
             # Signoff correction: the golden engine's gate delays deviate
             # systematically from NLDM interpolation (see repro.sta.signoff).
-            correction = signoff_gate_factor(size, input_slew[nid], total_load)
+            correction = signoff_gate_factor(size, gate_slew, gate_load)
             driver_delay[nid] = pair.delay_ps * correction
             driver_load[nid] = total_load
             driver_out_slew[nid] = pair.output_slew_ps

@@ -44,7 +44,7 @@ class TestIntegration:
         """Golden pair delay differs from raw NLDM interpolation by the factor."""
         from repro.geometry import Point
         from repro.netlist.tree import ClockTree
-        from repro.sta.gate import inverter_pair_timing
+        from repro.sta.gate import inverter_pair_timing, quantize_gate_inputs
 
         tree = ClockTree()
         src = tree.add_source(Point(0, 0))
@@ -54,10 +54,11 @@ class TestIntegration:
         timing = timer.analyze_corner(tree, corner)
 
         cell = library_cls1.cell(8, corner)
-        raw = inverter_pair_timing(
-            cell, timing.input_slew[buf], timing.driver_load[buf]
+        # The timer evaluates gates on quantized (slew, load) — the same
+        # values that key the incremental engine's gate memo.
+        gate_slew, gate_load = quantize_gate_inputs(
+            timing.input_slew[buf], timing.driver_load[buf]
         )
-        expected = raw.delay_ps * signoff_gate_factor(
-            8, timing.input_slew[buf], timing.driver_load[buf]
-        )
+        raw = inverter_pair_timing(cell, gate_slew, gate_load)
+        expected = raw.delay_ps * signoff_gate_factor(8, gate_slew, gate_load)
         assert timing.driver_delay[buf] == pytest.approx(expected, rel=1e-9)
