@@ -13,7 +13,6 @@ import pytest
 
 from repro.core.framework import (
     FrameworkConfig,
-    GlobalLocalOptimizer,
     GlobalOptConfig,
     TechnologyCache,
 )

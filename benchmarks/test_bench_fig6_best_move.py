@@ -14,10 +14,9 @@ models, and stays ahead as attempts grow.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from _util import emit
 
-from repro.analysis.report import render_series, render_table
+from repro.analysis.report import render_table
 from repro.core.local_opt import predicted_variation_reduction
 from repro.core.ml.dataset import generate_dataset
 from repro.core.ml.features import extract_features

@@ -123,6 +123,10 @@ def test_bench_localopt_perf_smoke():
     """MINI-scale smoke (CI): identical trajectories, modest floor."""
     record = _run_comparison(build_mini, max_iterations=4)
     _report("BENCH_localopt_smoke", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_localopt_smoke.json").write_text(
+        json.dumps(record, indent=2, default=str) + "\n"
+    )
     assert record["trajectory_identical"], record
     # MINI's move pool is tiny, so the relative win is smaller; the
     # floor only guards against the pipeline regressing below parity.

@@ -16,7 +16,6 @@ from __future__ import annotations
 import json
 import time
 
-import pytest
 
 from _util import RESULTS_DIR, emit
 from repro.core.moves import apply_move, enumerate_moves
@@ -119,6 +118,10 @@ def test_bench_timer_perf_smoke():
     design = build_mini()
     record = _run_comparison(design, limit=40)
     _report("BENCH_timer_smoke", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_timer_smoke.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
     assert record["max_objective_err_ps"] <= TOL_PS
     # MINI's tree is tiny, so the full pass is cheap and the relative
     # win is smaller; the floor only guards against regressions.

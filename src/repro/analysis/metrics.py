@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.analysis.power import ClockPower, clock_tree_power
+from repro.analysis.power import clock_tree_power
 from repro.design import Design
 from repro.sta.timer import TimingResult
 from repro.units import ps_to_ns

@@ -7,7 +7,7 @@ output can be compared against the paper side by side.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 
 def render_table(

@@ -4,19 +4,25 @@ Usage (after ``pip install -e .``)::
 
     python -m repro corners
     python -m repro build --testcase MINI --out tree.json
-    python -m repro optimize --testcase MINI --flow global-local
+    python -m repro optimize --testcase MINI --flow global-local --workers 4
     python -m repro train --cases 20 --moves 12
+    python -m repro batch --testcases MINI CLS1v1 --jobs 2
 
 The CLI wraps the same public API the examples use; it exists so a
 downstream user can drive the flows without writing Python.
+
+``--workers N`` fans verification/realization out to a process pool
+(bit-identical trajectories; see ``repro.parallel``), and ``batch`` runs
+several testcases concurrently, one flow per worker process.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import table5_row
 from repro.analysis.report import render_table
@@ -113,10 +119,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             predictor = train_predictor(design.library, samples, args.predictor)
 
     config = FrameworkConfig(
-        global_config=GlobalOptConfig(sweep_factors=(1.0, 1.15)),
+        global_config=GlobalOptConfig(
+            sweep_factors=(1.0, 1.15), workers=args.workers
+        ),
         local_config=LocalOptConfig(
             max_iterations=args.local_iterations,
             buffers_per_iteration=args.buffers_per_iteration,
+            workers=args.workers,
         ),
     )
     t0 = time.time()
@@ -124,6 +133,17 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         problem, predictor, TechnologyCache(design.library), config
     ).run(args.flow)
     print(f"{args.flow} flow finished in {time.time() - t0:.0f}s")
+
+    if args.trajectory_out and result.local_result is not None:
+        with open(args.trajectory_out, "w") as handle:
+            json.dump(
+                _trajectory_payload(result.local_result),
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"committed-move trajectory written to {args.trajectory_out}")
 
     rows = [
         table5_row(design, "orig", base).formatted(),
@@ -147,6 +167,115 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
         save_tree(result.tree, args.out)
         print(f"optimized tree written to {args.out}")
+    return 0
+
+
+def _trajectory_payload(local_result) -> List[Dict[str, Any]]:
+    """The committed-move trajectory, in byte-stable JSON-ready form.
+
+    Only deterministic fields are included (no wall-clock), so two runs
+    that commit the same moves produce byte-identical files — what the
+    CI determinism job diffs across worker counts.
+    """
+    return [
+        {
+            "iteration": record.iteration,
+            "move": repr(record.move),
+            "predicted_reduction_ps": record.predicted_reduction_ps,
+            "actual_reduction_ps": record.actual_reduction_ps,
+            "objective_after_ps": record.objective_after_ps,
+        }
+        for record in local_result.history
+    ]
+
+
+def _batch_one(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one testcase's flow inside a batch worker process."""
+    from repro.core.framework import (
+        FrameworkConfig,
+        GlobalLocalOptimizer,
+        GlobalOptConfig,
+        TechnologyCache,
+    )
+    from repro.core.local_opt import LocalOptConfig
+    from repro.core.ml.training import train_predictor
+    from repro.core.objective import SkewVariationProblem
+
+    design = _build_design(payload["testcase"])
+    problem = SkewVariationProblem.create(design)
+    predictor = train_predictor(design.library, [], "full_rsmt_d2m")
+    config = FrameworkConfig(
+        global_config=GlobalOptConfig(sweep_factors=(1.0, 1.15)),
+        local_config=LocalOptConfig(
+            max_iterations=payload["local_iterations"],
+            buffers_per_iteration=payload["buffers_per_iteration"],
+        ),
+    )
+    t0 = time.time()
+    result = GlobalLocalOptimizer(
+        problem, predictor, TechnologyCache(design.library), config
+    ).run(payload["flow"])
+    base = problem.baseline.total_variation
+    final = result.timing.total_variation
+    return {
+        "testcase": payload["testcase"],
+        "flow": payload["flow"],
+        "baseline_ps": base,
+        "final_ps": final,
+        "reduction_pct": 100.0 * (base - final) / base if base > 0 else 0.0,
+        "runtime_s": time.time() - t0,
+    }
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Run several testcases concurrently, one flow per worker."""
+    from repro.parallel.pool import WorkerPool
+
+    payloads = [
+        {
+            "testcase": name,
+            "flow": args.flow,
+            "local_iterations": args.local_iterations,
+            "buffers_per_iteration": args.buffers_per_iteration,
+        }
+        for name in args.testcases
+    ]
+    jobs = max(1, min(args.jobs, len(payloads)))
+    t0 = time.time()
+    if jobs == 1:
+        results = [_batch_one(payload) for payload in payloads]
+    else:
+        with WorkerPool(jobs) as pool:
+            results = pool.call("repro.cli:_batch_one", payloads)
+        # A crashed worker forfeits its testcase; rerun it here.
+        results = [
+            result if result is not None else _batch_one(payload)
+            for payload, result in zip(payloads, results)
+        ]
+    rows = [
+        [
+            r["testcase"],
+            r["flow"],
+            f"{r['baseline_ps']:.1f}",
+            f"{r['final_ps']:.1f}",
+            f"{r['reduction_pct']:.1f}%",
+            f"{r['runtime_s']:.1f}s",
+        ]
+        for r in results
+    ]
+    print(
+        render_table(
+            f"batch of {len(results)} testcases ({jobs} concurrent)",
+            ["testcase", "flow", "baseline ps", "final ps", "reduction", "runtime"],
+            rows,
+        )
+    )
+    print(f"batch wall clock: {time.time() - t0:.1f}s")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"batch summary written to {args.out}")
     return 0
 
 
@@ -200,7 +329,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--train-cases", type=int, default=16)
     p_opt.add_argument("--local-iterations", type=int, default=10)
     p_opt.add_argument("--buffers-per-iteration", type=int, default=24)
+    p_opt.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for verification fan-out (1 = serial)",
+    )
+    p_opt.add_argument(
+        "--trajectory-out",
+        default=None,
+        help="write the committed-move trajectory as JSON (determinism checks)",
+    )
     p_opt.add_argument("--out", default=None)
+
+    p_batch = sub.add_parser(
+        "batch", help="run several testcases concurrently"
+    )
+    p_batch.add_argument(
+        "--testcases", nargs="+", default=["MINI"], choices=TESTCASES
+    )
+    p_batch.add_argument(
+        "--flow", default="local", choices=("global", "local", "global-local")
+    )
+    p_batch.add_argument("--jobs", type=int, default=2)
+    p_batch.add_argument("--local-iterations", type=int, default=6)
+    p_batch.add_argument("--buffers-per-iteration", type=int, default=24)
+    p_batch.add_argument("--out", default=None, help="write summary JSON")
 
     p_train = sub.add_parser("train", help="train and score a predictor")
     p_train.add_argument("--cases", type=int, default=20)
@@ -218,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": cmd_build,
         "optimize": cmd_optimize,
         "train": cmd_train,
+        "batch": cmd_batch,
     }
     return handlers[args.command](args)
 

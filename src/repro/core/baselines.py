@@ -18,15 +18,13 @@ the objective and the pair constraints differ:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Mapping, Optional, Tuple
+from typing import List, Mapping
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from repro.core.lp import LPModelData, LPSolution, GlobalSkewLP
-from repro.tech.ratio_bounds import RatioBounds
+from repro.core.lp import LPSolution, GlobalSkewLP
 
 
 class WorstSkewLP(GlobalSkewLP):

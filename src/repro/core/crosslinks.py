@@ -29,7 +29,7 @@ routed wire), per corner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.design import Design
 from repro.netlist.tree import ClockTree
@@ -177,6 +177,6 @@ def insert_crosslinks(
     return CrosslinkResult(
         links=links,
         total_variation_ps=after.total_variation,
-        added_wirelength_um=sum(l.length_um for l in links),
+        added_wirelength_um=sum(link.length_um for link in links),
         skews=after,
     )

@@ -122,7 +122,6 @@ class LPGuidedECO:
             timings = self._incremental.corner_timings(tree)
         if arc_indices is None:
             arc_indices = solution.nonzero_arcs(self._config.delta_threshold_ps)
-        nominal = self._library.corners.nominal.name
         report: List[ArcECO] = []
         for j in arc_indices:
             arc = data.arcs[j]
@@ -210,7 +209,6 @@ class LPGuidedECO:
 
         # Buffered candidates: the paper's (size, wirelength, count) scan.
         for size in lib.sizes:
-            pin = lib.input_cap_ff(size)
             for wl in wl_axis:
                 stage0 = lut0.uniform[(size, lut0.snap_wl(wl))]
                 if stage0 <= 0:

@@ -18,12 +18,12 @@ preserving Algorithm 1 as the per-arc realization engine.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.eco_flow import ArcECO, ECOConfig, LPGuidedECO
+from repro.core.eco_flow import ECOConfig, LPGuidedECO
 from repro.core.local_opt import LocalOptConfig, LocalOptimizer, LocalOptResult
 from repro.core.lp import (
     DEFAULT_BETA,
@@ -51,6 +51,12 @@ class GlobalOptConfig:
     the table.  (The paper runs one pass against a commercial ECO that
     honors requests closely; our ECO substrate is noisier, so iterating
     to the fixed point is the equivalent-effort discipline.)
+
+    ``workers > 1`` fans the U-sweep out to a process pool: the per-bound
+    LP solves and the per-sweep-point ECO realizations are independent,
+    so each sweep point runs on its own worker; the fold over sweep
+    points keeps the serial order and comparison, so the chosen tree is
+    the one the serial sweep would have chosen.
     """
 
     sweep_factors: Tuple[float, ...] = (1.0, 1.15, 1.5)
@@ -60,6 +66,8 @@ class GlobalOptConfig:
     latency_margin: float = DEFAULT_LATENCY_MARGIN
     eco: ECOConfig = ECOConfig()
     improvement_eps_ps: float = 0.25
+    workers: int = 1
+    mp_context: Optional[str] = None
 
 
 @dataclass
@@ -115,6 +123,135 @@ class TechnologyCache:
         return self._bounds
 
 
+@dataclass
+class RealizationContext:
+    """The problem surface :func:`realize_verified_plan` consumes.
+
+    Built either from the live :class:`SkewVariationProblem` (serial
+    path) or from a shipped payload inside a pool worker (parallel
+    U-sweep; see :mod:`repro.parallel.sweep`) — both expose the same
+    engine-backed evaluation, so realizations are bit-identical wherever
+    they run.
+    """
+
+    library: object
+    stage_luts: Mapping[str, StageDelayLUT]
+    legalizer: object
+    region: object
+    pairs: Sequence[Tuple[int, int]]
+    alphas: Mapping[str, float]
+    baseline_skews: object
+    eco_config: ECOConfig
+    batch_size: int
+    improvement_eps_ps: float
+    engine: object
+
+    @staticmethod
+    def from_problem(
+        problem: SkewVariationProblem,
+        stage_luts: Mapping[str, StageDelayLUT],
+        config: GlobalOptConfig,
+    ) -> "RealizationContext":
+        design = problem.design
+        return RealizationContext(
+            library=design.library,
+            stage_luts=stage_luts,
+            legalizer=design.legalizer,
+            region=design.region,
+            pairs=problem.pairs,
+            alphas=problem.alphas,
+            baseline_skews=problem.baseline.skews,
+            eco_config=config.eco,
+            batch_size=config.batch_size,
+            improvement_eps_ps=config.improvement_eps_ps,
+            engine=problem.engine(),
+        )
+
+    def evaluate(self, tree: ClockTree) -> TimingResult:
+        return self.engine.time_tree(tree, self.pairs, alphas=self.alphas)
+
+    def corner_timings(self, tree: ClockTree):
+        return self.engine.corner_timings(tree)
+
+
+def realize_verified_plan(
+    ctx: RealizationContext,
+    base_tree: ClockTree,
+    data,
+    solution: LPSolution,
+    allow_batches: bool = True,
+) -> Tuple[ClockTree, TimingResult, Tuple[int, int, int]]:
+    """Realize one LP plan with golden verification.
+
+    The plan's arc changes are *coordinated* — launch and capture paths
+    move together — so the whole plan is tried first.  Only if the
+    one-shot realization regresses (or degrades local skew) does the
+    flow fall back to committing benefit-sorted batches with per-batch
+    verification, which salvages the separable part of the plan.
+    """
+    eco = LPGuidedECO(
+        ctx.library,
+        ctx.stage_luts,
+        ctx.legalizer,
+        region=ctx.region,
+        config=ctx.eco_config,
+        incremental=ctx.engine,
+    )
+
+    current = base_tree.clone()
+    current_result = ctx.evaluate(current)
+
+    # One-shot attempt: the coordinated plan, all arcs at once.
+    timings = ctx.corner_timings(current)
+    full_trial = current.clone()
+    full_report = eco.realize(full_trial, data, solution, timings)
+    if full_report:
+        full_result = ctx.evaluate(full_trial)
+        improved = (
+            full_result.total_variation
+            < current_result.total_variation - ctx.improvement_eps_ps
+        )
+        degraded = full_result.skews.degraded_local_skew(
+            ctx.baseline_skews, tol_ps=0.5
+        )
+        if improved and not degraded:
+            return full_trial, full_result, (len(full_report), 1, 0)
+
+    if not allow_batches:
+        return current, current_result, (0, 0, 1)
+
+    # Fallback: benefit-sorted batches, largest requested |delta|
+    # first, each golden-verified and reverted on regression.
+    pending = solution.nonzero_arcs(ctx.eco_config.delta_threshold_ps)
+    pending.sort(key=lambda j: -float(np.sum(np.abs(solution.delta[j]))))
+    arcs_done = 0
+    committed = 0
+    reverted = 1  # the rejected one-shot attempt
+    for start in range(0, len(pending), ctx.batch_size):
+        batch = pending[start : start + ctx.batch_size]
+        timings = ctx.corner_timings(current)
+        trial = current.clone()
+        report = eco.realize(trial, data, solution, timings, arc_indices=batch)
+        if not report:
+            continue
+        trial_result = ctx.evaluate(trial)
+        improved = (
+            trial_result.total_variation
+            < current_result.total_variation - ctx.improvement_eps_ps
+        )
+        degraded = trial_result.skews.degraded_local_skew(
+            ctx.baseline_skews, tol_ps=0.5
+        )
+        if improved and not degraded:
+            current = trial
+            current_result = trial_result
+            arcs_done += len(report)
+            committed += 1
+        else:
+            reverted += 1
+    return current, current_result, (arcs_done, committed, reverted)
+
+
 class GlobalOptimizer:
     """LP-guided global optimization with batched verified realization."""
 
@@ -131,8 +268,24 @@ class GlobalOptimizer:
     def run(self, tree: Optional[ClockTree] = None) -> GlobalOptResult:
         """Run the full global flow; never worsens the objective."""
         cfg = self._config
+        pool = None
+        if cfg.workers > 1:
+            from repro.parallel.pool import WorkerPool
+
+            pool = WorkerPool(cfg.workers, mp_context=cfg.mp_context)
+        try:
+            return self._run(tree, pool)
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _run(self, tree: Optional[ClockTree], pool) -> GlobalOptResult:
+        cfg = self._config
         problem = self._problem
         timer = problem.timer
+        ctx = RealizationContext.from_problem(
+            problem, self._tech.stage_luts, cfg
+        )
         base_tree = (tree or problem.design.tree).clone()
         base_result = problem.evaluate(base_tree)
 
@@ -158,19 +311,22 @@ class GlobalOptimizer:
                 beta=cfg.beta,
                 latency_margin=cfg.latency_margin,
             )
-            solutions = sweep_upper_bound(lp, cfg.sweep_factors)
+            solutions = sweep_upper_bound(lp, cfg.sweep_factors, pool=pool)
 
-            best_tree = None
-            best_result = current_result
-            best_stats = (0.0, 0, 0, 0)
             # First iteration: allow the batched salvage fallback; later
             # iterations try the one-shot plan only (the loop itself is
             # the recovery mechanism).
             allow_batches = iteration == 0
-            for bound, solution in solutions:
-                tree_u, result_u, stats = self._realize_verified(
-                    current, data, solution, allow_batches=allow_batches
-                )
+            realized = self._realize_sweep(
+                ctx, pool, current, data, solutions, allow_batches
+            )
+
+            best_tree = None
+            best_result = current_result
+            best_stats = (0.0, 0, 0, 0)
+            for (bound, _solution), (tree_u, result_u, stats) in zip(
+                solutions, realized
+            ):
                 if (
                     result_u.total_variation
                     < best_result.total_variation - cfg.improvement_eps_ps
@@ -199,88 +355,53 @@ class GlobalOptimizer:
         )
 
     # ------------------------------------------------------------------
-    def _realize_verified(
+    def _realize_sweep(
         self,
-        base_tree: ClockTree,
+        ctx: RealizationContext,
+        pool,
+        current: ClockTree,
         data,
-        solution: LPSolution,
-        allow_batches: bool = True,
-    ) -> Tuple[ClockTree, TimingResult, Tuple[int, int, int]]:
-        """Realize the LP plan with golden verification.
+        solutions: Sequence[Tuple[float, LPSolution]],
+        allow_batches: bool,
+    ) -> List[Tuple[ClockTree, TimingResult, Tuple[int, int, int]]]:
+        """Realize every sweep point, in parallel when a pool is present.
 
-        The plan's arc changes are *coordinated* — launch and capture
-        paths move together — so the whole plan is tried first.  Only if
-        the one-shot realization regresses (or degrades local skew) does
-        the flow fall back to committing benefit-sorted batches with
-        per-batch verification, which salvages the separable part of the
-        plan.
+        Sweep points are independent (each starts from ``current``), so
+        workers realize them concurrently; results come back in sweep
+        order and a crashed worker's point is realized serially here —
+        the fold over them is therefore identical to the serial loop's.
         """
-        cfg = self._config
         problem = self._problem
-        design = problem.design
-        eco = LPGuidedECO(
-            design.library,
-            self._tech.stage_luts,
-            design.legalizer,
-            region=design.region,
-            config=cfg.eco,
-            incremental=problem.engine(),
-        )
+        if pool is not None and pool.size > 1 and len(solutions) > 1:
+            from repro.netlist.serialize import tree_from_dict
+            from repro.parallel.sweep import build_realize_payload
 
-        current = base_tree.clone()
-        current_result = problem.evaluate(current)
-
-        # One-shot attempt: the coordinated plan, all arcs at once.
-        timings = problem.corner_timings(current)
-        full_trial = current.clone()
-        full_report = eco.realize(full_trial, data, solution, timings)
-        if full_report:
-            full_result = problem.evaluate(full_trial)
-            improved = (
-                full_result.total_variation
-                < current_result.total_variation - cfg.improvement_eps_ps
+            payloads = [
+                build_realize_payload(
+                    ctx, problem, current, data, solution, allow_batches
+                )
+                for _bound, solution in solutions
+            ]
+            remote = pool.call(
+                "repro.parallel.sweep:realize_point", payloads
             )
-            degraded = full_result.skews.degraded_local_skew(
-                problem.baseline.skews, tol_ps=0.5
-            )
-            if improved and not degraded:
-                return full_trial, full_result, (len(full_report), 1, 0)
-
-        if not allow_batches:
-            return current, current_result, (0, 0, 1)
-
-        # Fallback: benefit-sorted batches, largest requested |delta|
-        # first, each golden-verified and reverted on regression.
-        pending = solution.nonzero_arcs(cfg.eco.delta_threshold_ps)
-        pending.sort(
-            key=lambda j: -float(np.sum(np.abs(solution.delta[j])))
-        )
-        arcs_done = 0
-        committed = 0
-        reverted = 1  # the rejected one-shot attempt
-        for start in range(0, len(pending), cfg.batch_size):
-            batch = pending[start : start + cfg.batch_size]
-            timings = problem.corner_timings(current)
-            trial = current.clone()
-            report = eco.realize(trial, data, solution, timings, arc_indices=batch)
-            if not report:
-                continue
-            trial_result = problem.evaluate(trial)
-            improved = (
-                trial_result.total_variation
-                < current_result.total_variation - cfg.improvement_eps_ps
-            )
-            degraded = trial_result.skews.degraded_local_skew(
-                problem.baseline.skews, tol_ps=0.5
-            )
-            if improved and not degraded:
-                current = trial
-                current_result = trial_result
-                arcs_done += len(report)
-                committed += 1
-            else:
-                reverted += 1
-        return current, current_result, (arcs_done, committed, reverted)
+            out = []
+            for (_bound, solution), result in zip(solutions, remote):
+                if result is None:  # worker crash: realize here instead
+                    out.append(
+                        realize_verified_plan(
+                            ctx, current, data, solution, allow_batches
+                        )
+                    )
+                    continue
+                tree_u = tree_from_dict(result["tree"])
+                result_u = problem.evaluate(tree_u)
+                out.append((tree_u, result_u, tuple(result["stats"])))
+            return out
+        return [
+            realize_verified_plan(ctx, current, data, solution, allow_batches)
+            for _bound, solution in solutions
+        ]
 
 
 @dataclass(frozen=True)

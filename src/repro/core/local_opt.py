@@ -23,7 +23,7 @@ random-move baseline used in that figure.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -55,6 +55,15 @@ class LocalOptConfig:
     #: ``False`` runs the original per-move ``extract_features`` path;
     #: both produce identical committed-move trajectories.
     use_pipeline: bool = True
+    #: ``workers > 1`` fans the top-``R`` trial verification out to a
+    #: persistent process pool (:mod:`repro.parallel`): each worker holds
+    #: a delta-synced tree + timer replica and golden-verifies its shard.
+    #: The reduce is deterministic, so the committed-move trajectory is
+    #: bit-identical to the serial one.  ``workers == 1`` runs today's
+    #: serial path exactly.
+    workers: int = 1
+    #: Multiprocessing start method (``None`` = fork where available).
+    mp_context: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -119,60 +128,75 @@ class LocalOptimizer:
         pipeline = (
             CandidatePipeline(problem.design.library) if cfg.use_pipeline else None
         )
+        verifier = None
+        if cfg.workers > 1:
+            from repro.parallel.verify import ParallelVerifier
 
-        for iteration in range(cfg.max_iterations):
-            started = time.time()
-            ranked = self._rank_moves(current, result, pipeline, timers)
-            if not ranked:
-                break
-            committed = False
-            evaluated = 0
-            batches = 0
-            for start in range(0, len(ranked), cfg.top_r):
-                if batches >= cfg.max_batches_per_iteration:
+            # The replica spec snapshots the run's *starting* tree; the
+            # main engine attaches to the same tree below, so replicas
+            # and main evolve through identical float operations.
+            verifier = ParallelVerifier(
+                problem,
+                current,
+                cfg.workers,
+                local_skew_tolerance_ps=cfg.local_skew_tolerance_ps,
+                mp_context=cfg.mp_context,
+            )
+
+        try:
+            for iteration in range(cfg.max_iterations):
+                started = time.time()
+                ranked = self._rank_moves(current, result, pipeline, timers)
+                if not ranked:
                     break
-                batches += 1
-                batch = ranked[start : start + cfg.top_r]
-                outcomes = []
-                with timers.stage("trial"):
-                    for predicted, features in batch:
-                        evaluated += 1
-                        # Trial in place: the incremental engine re-times
-                        # only the move's dirty cone, then the move is
-                        # undone.
-                        trial_result = problem.evaluate_move(
-                            current, features.move
+                committed = False
+                evaluated = 0
+                batches = 0
+                for start in range(0, len(ranked), cfg.top_r):
+                    if batches >= cfg.max_batches_per_iteration:
+                        break
+                    batches += 1
+                    batch = ranked[start : start + cfg.top_r]
+                    with timers.stage("trial"):
+                        verdicts = self._verify_batch(
+                            verifier, current, result, batch
                         )
-                        outcomes.append((trial_result, predicted, features))
-                best = self._pick_best(outcomes, result)
-                if best is not None:
-                    trial_result, predicted, features = best
-                    actual_red = result.total_variation - trial_result.total_variation
-                    with timers.stage("commit"):
-                        result = problem.commit_move(current, features.move)
-                        if pipeline is not None:
-                            self._invalidate_pipeline(pipeline, features.move)
-                    history.append(
-                        IterationRecord(
-                            iteration=iteration,
-                            move=features.move,
-                            move_type=features.move.type,
-                            predicted_reduction_ps=predicted,
-                            actual_reduction_ps=actual_red,
-                            objective_after_ps=result.total_variation,
-                            candidates_evaluated=evaluated,
-                            elapsed_s=time.time() - started,
+                        evaluated += len(batch)
+                    best = self._pick_best(verdicts, result)
+                    if best is not None:
+                        trial_tv, _degraded, predicted, features = best
+                        actual_red = result.total_variation - trial_tv
+                        with timers.stage("commit"):
+                            result = problem.commit_move(current, features.move)
+                            if verifier is not None:
+                                verifier.record_commit(features.move)
+                            if pipeline is not None:
+                                self._invalidate_pipeline(pipeline, features.move)
+                        history.append(
+                            IterationRecord(
+                                iteration=iteration,
+                                move=features.move,
+                                move_type=features.move.type,
+                                predicted_reduction_ps=predicted,
+                                actual_reduction_ps=actual_red,
+                                objective_after_ps=result.total_variation,
+                                candidates_evaluated=evaluated,
+                                elapsed_s=time.time() - started,
+                            )
                         )
-                    )
-                    committed = True
+                        committed = True
+                        break
+                if not committed:
                     break
-            if not committed:
-                break
+        finally:
+            if verifier is not None:
+                verifier.close()
 
         stats: Dict[str, object] = {
             "stage": timers.as_dict(),
             "pipeline": pipeline.cache_stats() if pipeline is not None else None,
             "engine": dict(problem.engine().stats),
+            "parallel": verifier.stats_dict() if verifier is not None else None,
         }
         return LocalOptResult(
             tree=current,
@@ -202,21 +226,55 @@ class LocalOptimizer:
         )
 
     # ------------------------------------------------------------------
-    def _pick_best(self, outcomes, current: TimingResult):
-        """Best actually-improving, non-degrading outcome (or None)."""
+    def _verify_batch(
+        self, verifier, current: ClockTree, result: TimingResult, batch
+    ) -> List[Tuple[float, bool, float, MoveFeatures]]:
+        """Golden-verify one ranked batch, serially or via the pool.
+
+        Returns ``(total_variation, degraded, predicted, features)``
+        verdicts in batch order.  The parallel path ships the batch to
+        the delta-synced worker replicas; both paths compute the same
+        floats, so the subsequent pick is identical.
+        """
+        problem = self._problem
+        if verifier is not None:
+            raw = verifier.verify_batch(
+                current, [features.move for _, features in batch]
+            )
+            return [
+                (tv, degraded, predicted, features)
+                for (tv, degraded), (predicted, features) in zip(raw, batch)
+            ]
+        verdicts = []
+        for predicted, features in batch:
+            # Trial in place: the incremental engine re-times only the
+            # move's dirty cone, then the move is undone.
+            trial_result = problem.evaluate_move(current, features.move)
+            verdicts.append(
+                (
+                    trial_result.total_variation,
+                    trial_result.skews.degraded_local_skew(
+                        problem.baseline.skews,
+                        tol_ps=self._config.local_skew_tolerance_ps,
+                    ),
+                    predicted,
+                    features,
+                )
+            )
+        return verdicts
+
+    def _pick_best(self, verdicts, current: TimingResult):
+        """Best actually-improving, non-degrading verdict (or None)."""
         best = None
         best_red = 1e-9
-        for outcome in outcomes:
-            trial_result = outcome[0]
-            reduction = current.total_variation - trial_result.total_variation
+        for verdict in verdicts:
+            trial_tv, degraded = verdict[0], verdict[1]
+            reduction = current.total_variation - trial_tv
             if reduction <= best_red:
                 continue
-            if trial_result.skews.degraded_local_skew(
-                self._problem.baseline.skews,
-                tol_ps=self._config.local_skew_tolerance_ps,
-            ):
+            if degraded:
                 continue
-            best = outcome
+            best = verdict
             best_red = reduction
         return best
 

@@ -27,7 +27,7 @@ The matrix is assembled sparse (COO) and solved with scipy's HiGHS.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,8 +38,7 @@ from repro.netlist.arcs import Arc, extract_arcs, path_arc_indices
 from repro.netlist.tree import ClockTree
 from repro.sta.skew import pair_skew
 from repro.sta.timer import CornerTiming, GoldenTimer
-from repro.tech.library import Library
-from repro.tech.ratio_bounds import RatioBounds, fit_all_ratio_bounds
+from repro.tech.ratio_bounds import RatioBounds
 from repro.tech.stage_lut import StageDelayLUT
 
 #: Paper's beta: upper bound on arc delay as a multiple of the original.
@@ -480,19 +479,32 @@ class GlobalSkewLP:
 def sweep_upper_bound(
     lp: GlobalSkewLP,
     sweep_factors: Sequence[float] = (1.0, 1.05, 1.1, 1.2),
+    pool=None,
 ) -> List[Tuple[float, LPSolution]]:
     """The paper's U-sweep: solve Eq. (4) at several bounds above U_min.
 
     Returns ``(U, solution)`` tuples in sweep order; the ECO flow tries
-    each and keeps the best *actual* result.
+    each and keeps the best *actual* result.  With a worker ``pool`` the
+    per-bound ``minimize_changes`` solves run concurrently (HiGHS is
+    deterministic, so remote solves match local ones); a crashed
+    worker's bound is re-solved locally.
     """
     base = lp.minimize_variation()
     if not base.feasible:
         return []
     u_min = base.achieved_variation_bound
+    bounds = [u_min * factor + 1e-6 for factor in sweep_factors]
     out: List[Tuple[float, LPSolution]] = []
-    for factor in sweep_factors:
-        bound = u_min * factor + 1e-6
+    if pool is not None and pool.size > 1 and len(bounds) > 1:
+        payloads = [(lp, bound) for bound in bounds]
+        solutions = pool.call("repro.parallel.sweep:solve_bound", payloads)
+        for bound, sol in zip(bounds, solutions):
+            if sol is None:  # worker crash: solve here instead
+                sol = lp.minimize_changes(bound)
+            if sol.feasible:
+                out.append((bound, sol))
+        return out
+    for bound in bounds:
         sol = lp.minimize_changes(bound)
         if sol.feasible:
             out.append((bound, sol))

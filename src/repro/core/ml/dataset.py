@@ -15,7 +15,7 @@ buffer), obtained by actually applying the move to a clone and re-timing.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -12,7 +12,6 @@ base model is refitted on the full data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np

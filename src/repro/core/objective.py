@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Tuple
 from repro.design import Design
 from repro.netlist.tree import ClockTree
 from repro.sta.incremental import IncrementalTimer
-from repro.sta.skew import SkewAnalysis
 from repro.sta.timer import CornerTiming, GoldenTimer, TimingResult
 
 

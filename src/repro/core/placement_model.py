@@ -25,7 +25,6 @@ from repro.core.ml.features import extract_features
 from repro.core.ml.training import DeltaLatencyPredictor
 from repro.core.moves import Move, MoveType, apply_move
 from repro.core.objective import SkewVariationProblem
-from repro.geometry import Point
 from repro.netlist.tree import ClockTree
 from repro.sta.timer import TimingResult
 

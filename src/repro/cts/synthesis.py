@@ -19,8 +19,8 @@ paper's input trees:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.cts.clustering import Cluster, cluster_points
 from repro.eco.legalize import Legalizer

@@ -7,7 +7,7 @@ subset that the optimization objective sums over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import List, Sequence, Tuple
 
 from repro.eco.legalize import Legalizer

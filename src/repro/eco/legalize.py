@@ -11,7 +11,7 @@ results are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, Set, Tuple
 
 from repro.geometry import BBox, Point
 from repro.netlist.tree import ClockTree

@@ -37,7 +37,18 @@ def tree_to_dict(tree: ClockTree) -> Dict[str, Any]:
         if node.via:
             entry["via"] = [[p.x, p.y] for p in node.via]
         nodes.append(entry)
-    return {"schema": SCHEMA_VERSION, "nodes": nodes}
+    # ``next_id`` and ``order`` are part of the replication contract: a
+    # worker replica that applies the same mutation stream as the
+    # original must allocate the same node ids (removals leave holes the
+    # counter remembers) and enumerate nodes in the same order (float
+    # summations over nodes inherit it).  ``nodes`` stays topologically
+    # sorted so parents always precede children during restore.
+    return {
+        "schema": SCHEMA_VERSION,
+        "nodes": nodes,
+        "next_id": tree.next_id,
+        "order": tree.node_ids(),
+    }
 
 
 def tree_from_dict(payload: Dict[str, Any]) -> ClockTree:
@@ -67,7 +78,14 @@ def tree_from_dict(payload: Dict[str, Any]) -> ClockTree:
                 entry["parent"],
             )
         )
-    return ClockTree.restore(entries)
+    next_id = payload.get("next_id")
+    tree = ClockTree.restore(
+        entries, next_id=None if next_id is None else int(next_id)
+    )
+    order = payload.get("order")
+    if order is not None:
+        tree.set_enumeration_order([int(nid) for nid in order])
+    return tree
 
 
 def tree_to_json(tree: ClockTree, indent: int = None) -> str:

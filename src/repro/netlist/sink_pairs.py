@@ -10,7 +10,7 @@ testcases use proportionally smaller K).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from typing import List, Mapping, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)

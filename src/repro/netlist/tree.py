@@ -24,8 +24,8 @@ from __future__ import annotations
 import copy
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.geometry import BBox, Point, path_length
 
@@ -80,6 +80,17 @@ class ClockTree:
         self._structure_revision = 0
         self._subtree_cache: Dict[int, List[int]] = {}
         self._subtree_sink_cache: Dict[int, List[int]] = {}
+
+    @property
+    def next_id(self) -> int:
+        """The id the next allocated node will receive.
+
+        Part of the replication contract: after buffer removals the id
+        space has holes, so a replica rebuilt from serialized state must
+        restore this counter (not re-derive ``max(id) + 1``) for its
+        future allocations to match the original tree's.
+        """
+        return self._next_id
 
     @property
     def revision(self) -> int:
@@ -396,14 +407,18 @@ class ClockTree:
 
     @staticmethod
     def restore(
-        entries: Sequence[Tuple[int, NodeKind, Point, Optional[int], Tuple[Point, ...], Optional[int]]]
+        entries: Sequence[Tuple[int, NodeKind, Point, Optional[int], Tuple[Point, ...], Optional[int]]],
+        next_id: Optional[int] = None,
     ) -> "ClockTree":
         """Rebuild a tree from ``(id, kind, location, size, via, parent)`` rows.
 
         Rows must be topologically ordered (source first, parents before
         children) and ids may be arbitrary non-negative integers — they
-        are preserved exactly, which is what serialization needs.  The
-        result is validated before being returned.
+        are preserved exactly, which is what serialization needs.  Pass
+        ``next_id`` to restore the allocation counter as well (it may
+        exceed ``max(id) + 1`` when nodes were removed); without it the
+        counter is re-derived from the ids present.  The result is
+        validated before being returned.
         """
         tree = ClockTree()
         for nid, kind, location, size, via, parent in entries:
@@ -426,8 +441,27 @@ class ClockTree:
             )
             tree._children[nid] = []
             tree._next_id = max(tree._next_id, nid + 1)
+        if next_id is not None:
+            if next_id < tree._next_id:
+                raise ValueError(
+                    f"next_id {next_id} collides with existing node ids"
+                )
+            tree._next_id = next_id
         tree.validate()
         return tree
+
+    def set_enumeration_order(self, order: Sequence[int]) -> None:
+        """Reorder internal node enumeration to ``order``.
+
+        :meth:`nodes`, :meth:`node_ids`, :meth:`sinks`, :meth:`buffers`
+        and :meth:`drivers` yield nodes in insertion order, which float
+        summations over nodes (e.g. wirelength) and tiebreaks inherit.
+        Deserialization stores nodes in topological order, so replicas
+        call this to restore the original enumeration exactly.
+        """
+        if sorted(order) != sorted(self._nodes):
+            raise ValueError("order is not a permutation of the node ids")
+        self._nodes = {nid: self._nodes[nid] for nid in order}
 
     def clone(self) -> "ClockTree":
         """Deep copy preserving node ids (for trial moves)."""

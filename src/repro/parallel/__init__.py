@@ -1,0 +1,38 @@
+"""Process-parallel verification engine (corner-sharded timing fan-out).
+
+The package splits into three layers:
+
+* :mod:`repro.parallel.replica` — worker-side state: a tree + timer
+  replica kept bit-identical to the main process via delta replay;
+* :mod:`repro.parallel.pool` — the persistent process pool with
+  per-worker pipes, crash detection/recovery, and the stateless
+  ``call`` channel used by the global flow's U-sweep;
+* :mod:`repro.parallel.verify` — the local-opt bridge: top-R candidate
+  fan-out with a deterministic reduce.
+"""
+
+from repro.parallel.pool import (
+    CRASH_EXIT_CODE,
+    WorkerCrash,
+    WorkerError,
+    WorkerPool,
+)
+from repro.parallel.replica import (
+    Replica,
+    ReplicaSpec,
+    VerifyOutcome,
+    merge_sharded_outcome,
+)
+from repro.parallel.verify import ParallelVerifier
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ParallelVerifier",
+    "Replica",
+    "ReplicaSpec",
+    "VerifyOutcome",
+    "WorkerCrash",
+    "WorkerError",
+    "WorkerPool",
+    "merge_sharded_outcome",
+]

@@ -1,0 +1,391 @@
+"""Process-pool execution layer with persistent, delta-synced workers.
+
+Each worker process holds a long-lived :class:`~repro.parallel.replica.
+Replica` (tree + incremental timer) and serves requests over its own
+pipe, so the pool can address workers individually and detect a single
+worker's death without losing the batch.  Two request kinds exist:
+
+* ``verify`` — the local-opt fan-out: the request carries the slice of
+  the committed-move delta stream the worker hasn't seen yet plus its
+  assigned candidate shards (whole candidates, or candidate x corner
+  group when workers outnumber the batch).
+* ``call`` — a stateless remote procedure call used by the global flow's
+  U-sweep (independent LP solves and ECO realizations per sweep point).
+  The function is named ``"module:function"`` and must be importable in
+  the worker.
+
+Crash policy: a worker that dies mid-request forfeits only its own
+shard.  The pool marks it dead, reports the shard as failed (the caller
+re-verifies it serially — bit-identical, just slower), and respawns dead
+workers before the next request; fresh workers resynchronize by
+replaying the full delta stream from the run's starting tree, which
+keeps their float state bit-identical to the survivors'.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.moves import Move
+from repro.parallel.replica import Replica, ReplicaSpec, VerifyOutcome
+
+#: Exit code used by the test-only ``crash`` request.
+CRASH_EXIT_CODE = 13
+
+
+def _resolve(fn_spec: str) -> Callable[[Any], Any]:
+    module_name, _, fn_name = fn_spec.partition(":")
+    if not module_name or not fn_name:
+        raise ValueError(f"bad function spec {fn_spec!r}; expected 'module:fn'")
+    return getattr(importlib.import_module(module_name), fn_name)
+
+
+def _worker_main(conn, spec: Optional[ReplicaSpec]) -> None:
+    """Worker loop: build the replica once, then serve until told to exit."""
+    replica = Replica(spec) if spec is not None else None
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        op = message[0]
+        if op == "exit":
+            return
+        if op == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        try:
+            if op == "ping":
+                conn.send(("ok", replica.applied if replica else None))
+            elif op == "verify":
+                _, deltas, first_index, tasks = message
+                if replica is None:
+                    raise RuntimeError("pool has no replica spec")
+                replica.sync(deltas, first_index)
+                outcomes: List[VerifyOutcome] = []
+                for index, move, corner_names in tasks:
+                    if corner_names is None:
+                        outcomes.append(replica.verify(index, move))
+                    else:
+                        outcomes.append(
+                            replica.verify_corners(index, move, corner_names)
+                        )
+                conn.send(("ok", outcomes))
+            elif op == "call":
+                _, fn_spec, payload = message
+                conn.send(("ok", _resolve(fn_spec)(payload)))
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+
+
+class _WorkerHandle:
+    """One worker process plus its pipe and delta-sync watermark."""
+
+    __slots__ = ("process", "conn", "synced", "alive")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.synced = 0  # committed-move deltas this worker has replayed
+        self.alive = True
+
+
+class WorkerCrash(RuntimeError):
+    """A worker died while serving a request."""
+
+
+class WorkerError(RuntimeError):
+    """A worker raised while serving a request (traceback attached)."""
+
+
+class WorkerPool:
+    """Persistent pool of replica workers addressed over per-worker pipes."""
+
+    def __init__(
+        self,
+        workers: int,
+        spec: Optional[ReplicaSpec] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._spec = spec
+        self._size = workers
+        self._workers: List[_WorkerHandle] = []
+        self._deltas: List[Move] = []
+        self.stats: Dict[str, float] = {
+            "workers": workers,
+            "verify_batches": 0,
+            "verify_tasks": 0,
+            "sharded_batches": 0,
+            "call_tasks": 0,
+            "crashes": 0,
+            "rebuilds": 0,
+            "failed_shards": 0,
+            "verify_wall_s": 0.0,
+            "worker_busy_s": 0.0,
+        }
+        self._spawn_missing()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _spawn_one(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._spec),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn)
+
+    def _spawn_missing(self) -> None:
+        """Respawn dead workers until the pool is at full strength."""
+        rebuilt = False
+        self._workers = [w for w in self._workers if w.alive]
+        while len(self._workers) < self._size:
+            self._workers.append(self._spawn_one())
+            rebuilt = True
+        if rebuilt and self.stats["verify_batches"] > 0:
+            self.stats["rebuilds"] += 1
+
+    def close(self) -> None:
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            try:
+                worker.conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+            worker.alive = False
+        self._workers = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _mark_dead(self, worker: _WorkerHandle) -> None:
+        if worker.alive:
+            worker.alive = False
+            self.stats["crashes"] += 1
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+
+    def _send(self, worker: _WorkerHandle, message: Tuple) -> bool:
+        try:
+            worker.conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            self._mark_dead(worker)
+            return False
+
+    def _recv(self, worker: _WorkerHandle) -> Any:
+        try:
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            self._mark_dead(worker)
+            raise WorkerCrash(str(exc)) from exc
+        if status == "err":
+            raise WorkerError(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Delta stream
+    # ------------------------------------------------------------------
+    def record_commit(self, move: Move) -> None:
+        """Append a committed move; workers sync lazily at the next request."""
+        self._deltas.append(move)
+
+    @property
+    def committed(self) -> int:
+        return len(self._deltas)
+
+    def _sync_args(self, worker: _WorkerHandle) -> Tuple[List[Move], int]:
+        return self._deltas[worker.synced :], worker.synced
+
+    # ------------------------------------------------------------------
+    # Verification fan-out
+    # ------------------------------------------------------------------
+    def _plan_shards(
+        self, moves: Sequence[Move], corner_names: Sequence[str]
+    ) -> Tuple[List[List[Tuple[int, Move, Optional[Tuple[str, ...]]]]], int]:
+        """Assign candidate (x corner-group) shards to workers.
+
+        Returns per-worker task lists plus the number of corner groups
+        each candidate was split into (1 = whole-candidate tasks).  When
+        workers outnumber the candidates, each candidate's corner set is
+        split across ``workers // len(moves)`` groups so idle workers
+        pick up corner slices instead of waiting.
+        """
+        n_workers = len(self._workers)
+        tasks: List[Tuple[int, Move, Optional[Tuple[str, ...]]]] = []
+        groups = 1
+        if len(moves) < n_workers and len(corner_names) >= 2:
+            groups = min(len(corner_names), n_workers // len(moves))
+        if groups > 1:
+            bounds = [
+                (g * len(corner_names)) // groups for g in range(groups + 1)
+            ]
+            for index, move in enumerate(moves):
+                for g in range(groups):
+                    names = tuple(corner_names[bounds[g] : bounds[g + 1]])
+                    tasks.append((index, move, names))
+        else:
+            tasks = [(index, move, None) for index, move in enumerate(moves)]
+        plans: List[List[Tuple[int, Move, Optional[Tuple[str, ...]]]]] = [
+            [] for _ in range(n_workers)
+        ]
+        for position, task in enumerate(tasks):
+            plans[position % n_workers].append(task)
+        return plans, groups
+
+    def verify_batch(
+        self, moves: Sequence[Move]
+    ) -> List[Optional[List[VerifyOutcome]]]:
+        """Fan a candidate batch out to the workers and gather outcomes.
+
+        Returns, per candidate index, the list of its outcome shards
+        (one element unless corner-sharded) — or ``None`` for candidates
+        whose worker died; the caller re-verifies those serially.  Dead
+        workers are respawned before returning.
+        """
+        if self._spec is None:
+            raise RuntimeError("verify_batch requires a pool built with a spec")
+        if not moves:
+            return []
+        started = time.perf_counter()
+        self._spawn_missing()
+        corner_names = [c.name for c in self._spec.library.corners]
+        plans, groups = self._plan_shards(moves, corner_names)
+        self.stats["verify_batches"] += 1
+        self.stats["verify_tasks"] += len(moves)
+        if groups > 1:
+            self.stats["sharded_batches"] += 1
+
+        engaged: List[Tuple[_WorkerHandle, List]] = []
+        for worker, plan in zip(self._workers, plans):
+            if not plan:
+                continue
+            deltas, first_index = self._sync_args(worker)
+            if self._send(worker, ("verify", deltas, first_index, plan)):
+                engaged.append((worker, plan))
+
+        shards: Dict[int, List[VerifyOutcome]] = {}
+        failed: set = set()
+        for worker, plan in engaged:
+            try:
+                outcomes = self._recv(worker)
+            except WorkerCrash:
+                failed.update(index for index, _, _ in plan)
+                continue
+            worker.synced = len(self._deltas)
+            for outcome in outcomes:
+                shards.setdefault(outcome.index, []).append(outcome)
+                self.stats["worker_busy_s"] += outcome.eval_s
+        # A candidate misses the cut when any of its shards is absent —
+        # its worker crashed, or never received the plan (send failed).
+        for index in range(len(moves)):
+            if len(shards.get(index, ())) != groups:
+                failed.add(index)
+        self.stats["failed_shards"] += len(failed)
+        self._spawn_missing()
+        self.stats["verify_wall_s"] += time.perf_counter() - started
+        return [
+            None if index in failed else shards[index]
+            for index in range(len(moves))
+        ]
+
+    # ------------------------------------------------------------------
+    # Stateless remote calls (U-sweep)
+    # ------------------------------------------------------------------
+    def call(
+        self, fn_spec: str, payloads: Sequence[Any]
+    ) -> List[Optional[Any]]:
+        """Scatter ``payloads`` over the workers; ``None`` marks a crash.
+
+        Results keep payload order.  Worker exceptions propagate as
+        :class:`WorkerError` (they are bugs, not crashes); a dead worker
+        yields ``None`` for its payloads and is respawned.
+        """
+        if not payloads:
+            return []
+        self._spawn_missing()
+        self.stats["call_tasks"] += len(payloads)
+        assignments: List[List[int]] = [[] for _ in self._workers]
+        for position in range(len(payloads)):
+            assignments[position % len(self._workers)].append(position)
+
+        results: List[Optional[Any]] = [None] * len(payloads)
+        # Round-robin queues: send one payload per worker, receive, send
+        # the next, so a worker crash costs only its in-flight payload.
+        pending = [list(queue) for queue in assignments]
+        inflight: Dict[int, int] = {}
+        for worker_index, worker in enumerate(self._workers):
+            if pending[worker_index]:
+                position = pending[worker_index].pop(0)
+                if self._send(worker, ("call", fn_spec, payloads[position])):
+                    inflight[worker_index] = position
+        while inflight:
+            for worker_index in list(inflight):
+                worker = self._workers[worker_index]
+                position = inflight.pop(worker_index)
+                try:
+                    results[position] = self._recv(worker)
+                except WorkerCrash:
+                    continue
+                if pending[worker_index]:
+                    nxt = pending[worker_index].pop(0)
+                    if self._send(
+                        worker, ("call", fn_spec, payloads[nxt])
+                    ):
+                        inflight[worker_index] = nxt
+        # Orphaned payloads (their worker died before send): leave None.
+        self._spawn_missing()
+        return results
+
+    # ------------------------------------------------------------------
+    # Test support
+    # ------------------------------------------------------------------
+    def crash_worker(self, index: int = 0) -> None:
+        """Ask one worker to die (exercises the recovery path in tests)."""
+        worker = self._workers[index]
+        if self._send(worker, ("crash",)):
+            worker.process.join(timeout=5.0)
+
+    def alive_workers(self) -> int:
+        return sum(
+            1
+            for w in self._workers
+            if w.alive and w.process.is_alive()
+        )

@@ -1,0 +1,202 @@
+"""Worker-side replica state for the parallel verification engine.
+
+A :class:`Replica` is everything one pool worker needs to golden-verify
+candidate moves on its own: a private clock tree rebuilt from serialized
+state (:mod:`repro.netlist.serialize` preserves ids, fanout order,
+enumeration order and the id-allocation counter — see
+``tests/test_serialize.py``), a private :class:`IncrementalTimer`, and
+the frozen baseline artifacts (pairs, alphas, baseline skews) the
+verification decision consumes.
+
+Bit-identity contract
+---------------------
+The main process attaches its engine to the run's starting tree (a full
+propagation) and advances it once per committed move.  A replica attaches
+to a bit-identical copy of the same starting tree and replays the *same*
+committed-move stream through the *same* ``advance`` path, so its
+per-corner states evolve through the same float operations and stay
+bit-identical to the main process's.  A candidate verified here therefore
+returns exactly the floats the serial loop would have computed — which is
+what lets the parallel reduce pick the same winner, bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.moves import Move, apply_move_undoable, undo_move
+from repro.eco.legalize import Legalizer
+from repro.netlist.serialize import tree_from_dict, tree_to_dict
+from repro.netlist.tree import ClockTree
+from repro.route.rc_net import DEFAULT_SEGMENT_UM
+from repro.sta.incremental import IncrementalTimer
+from repro.sta.skew import SkewAnalysis
+from repro.sta.timer import TimingResult
+from repro.tech.library import Library
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything needed to build a worker replica, in picklable form."""
+
+    tree_payload: Dict[str, Any]
+    library: Library
+    legalizer: Legalizer
+    pairs: Tuple[Tuple[int, int], ...]
+    alphas: Dict[str, float]
+    baseline_skews: SkewAnalysis
+    wire_metric: str = "d2m"
+    segment_um: float = DEFAULT_SEGMENT_UM
+    local_skew_tolerance_ps: float = 0.5
+
+    @staticmethod
+    def from_problem(
+        problem, tree: ClockTree, local_skew_tolerance_ps: float = 0.5
+    ) -> "ReplicaSpec":
+        """Snapshot a :class:`SkewVariationProblem` run's starting state."""
+        return ReplicaSpec(
+            tree_payload=tree_to_dict(tree),
+            library=problem.design.library,
+            legalizer=problem.design.legalizer,
+            pairs=tuple(problem.pairs),
+            alphas=dict(problem.alphas),
+            baseline_skews=problem.baseline.skews,
+            wire_metric=problem.timer.wire_metric,
+            segment_um=problem.timer.segment_um,
+            local_skew_tolerance_ps=local_skew_tolerance_ps,
+        )
+
+
+@dataclass(frozen=True)
+class VerifyOutcome:
+    """One candidate's verification result, as sent back to the pool.
+
+    Whole-candidate verification fills ``total_variation``/``degraded``;
+    corner-sharded verification fills ``latencies`` instead (the main
+    process merges the shards and finishes the skew analysis there).
+    """
+
+    index: int
+    total_variation: Optional[float] = None
+    degraded: Optional[bool] = None
+    latencies: Optional[Dict[str, Dict[int, float]]] = None
+    eval_s: float = 0.0
+
+
+class Replica:
+    """A long-lived tree + timer replica that stays in sync via deltas."""
+
+    def __init__(self, spec: ReplicaSpec) -> None:
+        self.spec = spec
+        self.tree = tree_from_dict(spec.tree_payload)
+        self.engine = IncrementalTimer(
+            spec.library,
+            wire_metric=spec.wire_metric,
+            segment_um=spec.segment_um,
+        )
+        self.engine.ensure(self.tree)
+        #: Number of committed moves replayed so far.
+        self.applied = 0
+
+    # ------------------------------------------------------------------
+    def sync(self, deltas: Sequence[Move], first_index: int) -> None:
+        """Replay the committed-move stream ``deltas`` onto the replica.
+
+        ``first_index`` is the global index of ``deltas[0]``; moves this
+        replica already applied are skipped, so redelivery after a pool
+        rebuild is harmless.
+        """
+        for offset, move in enumerate(deltas):
+            index = first_index + offset
+            if index < self.applied:
+                continue
+            if index > self.applied:
+                raise ValueError(
+                    f"delta stream gap: replica at {self.applied}, "
+                    f"received index {index}"
+                )
+            undo = apply_move_undoable(
+                self.tree, self.spec.legalizer, self.spec.library, move
+            )
+            self.engine.advance(
+                self.tree, undo.dirty, self.spec.pairs, alphas=self.spec.alphas
+            )
+            self.applied += 1
+
+    # ------------------------------------------------------------------
+    def verify(self, index: int, move: Move) -> VerifyOutcome:
+        """Golden-verify one candidate move at all corners."""
+        started = time.perf_counter()
+        undo = apply_move_undoable(
+            self.tree, self.spec.legalizer, self.spec.library, move
+        )
+        try:
+            result = self.engine.preview(
+                self.tree, undo.dirty, self.spec.pairs, alphas=self.spec.alphas
+            )
+        finally:
+            undo_move(self.tree, undo)
+            self.engine.rebase(self.tree)
+        return VerifyOutcome(
+            index=index,
+            total_variation=result.total_variation,
+            degraded=result.skews.degraded_local_skew(
+                self.spec.baseline_skews,
+                tol_ps=self.spec.local_skew_tolerance_ps,
+            ),
+            eval_s=time.perf_counter() - started,
+        )
+
+    def verify_corners(
+        self, index: int, move: Move, corner_names: Sequence[str]
+    ) -> VerifyOutcome:
+        """Verify one candidate at a corner subset (corner-sharded mode)."""
+        started = time.perf_counter()
+        undo = apply_move_undoable(
+            self.tree, self.spec.legalizer, self.spec.library, move
+        )
+        try:
+            latencies = self.engine.preview_latencies(
+                self.tree, undo.dirty, corner_names
+            )
+        finally:
+            undo_move(self.tree, undo)
+            self.engine.rebase(self.tree)
+        return VerifyOutcome(
+            index=index,
+            latencies=latencies,
+            eval_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> TimingResult:
+        """Full timing of the replica's current state (test support)."""
+        return self.engine.time_tree(
+            self.tree, self.spec.pairs, alphas=self.spec.alphas
+        )
+
+
+def merge_sharded_outcome(
+    spec: ReplicaSpec, shards: Sequence[VerifyOutcome]
+) -> Tuple[float, bool]:
+    """Combine corner-sharded latencies into the verification verdict.
+
+    Runs the same :meth:`SkewAnalysis.from_latencies` the engine's
+    snapshot runs, over latencies assembled in library corner order, so
+    the result is bit-identical to a whole-candidate verification.
+    """
+    merged: Dict[str, Dict[int, float]] = {}
+    by_name: Dict[str, Dict[int, float]] = {}
+    for shard in shards:
+        by_name.update(shard.latencies or {})
+    for corner in spec.library.corners:
+        merged[corner.name] = by_name[corner.name]
+    skews = SkewAnalysis.from_latencies(
+        merged, list(spec.pairs), spec.library.corners, spec.alphas
+    )
+    degraded = skews.degraded_local_skew(
+        spec.baseline_skews, tol_ps=spec.local_skew_tolerance_ps
+    )
+    return skews.total_variation, degraded

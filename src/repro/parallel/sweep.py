@@ -1,0 +1,90 @@
+"""Worker-side entry points for the parallel U-sweep (global flow).
+
+The global flow's sweep points are embarrassingly parallel: each solves
+Eq. (4) at its own bound and realizes the resulting plan starting from
+the *same* base tree.  These functions are the ``"module:function"``
+targets :meth:`repro.parallel.pool.WorkerPool.call` resolves inside a
+worker process; payloads are self-contained (tree payload + frozen
+problem artifacts) so the workers need no replica state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.netlist.serialize import tree_from_dict, tree_to_dict
+from repro.sta.incremental import IncrementalTimer
+
+
+def solve_bound(payload: Tuple[Any, float]):
+    """Solve ``minimize_changes`` at one swept bound.
+
+    ``payload`` is ``(lp, bound)`` — :class:`~repro.core.lp.GlobalSkewLP`
+    pickles whole (it is numpy arrays plus scalars) and HiGHS is
+    deterministic, so the remote solution equals the local one.
+    """
+    lp, bound = payload
+    return lp.minimize_changes(bound)
+
+
+def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Realize one sweep point's LP plan inside a worker.
+
+    Rebuilds the tree and a :class:`RealizationContext` from the
+    payload, runs the same :func:`realize_verified_plan` the serial
+    path runs, and ships the realized tree back serialized (the main
+    process re-evaluates it with its own engine before the fold).
+    """
+    from repro.core.framework import RealizationContext, realize_verified_plan
+
+    tree = tree_from_dict(payload["tree"])
+    engine = IncrementalTimer(
+        payload["library"],
+        wire_metric=payload["wire_metric"],
+        segment_um=payload["segment_um"],
+    )
+    ctx = RealizationContext(
+        library=payload["library"],
+        stage_luts=payload["stage_luts"],
+        legalizer=payload["legalizer"],
+        region=payload["region"],
+        pairs=payload["pairs"],
+        alphas=payload["alphas"],
+        baseline_skews=payload["baseline_skews"],
+        eco_config=payload["eco_config"],
+        batch_size=payload["batch_size"],
+        improvement_eps_ps=payload["improvement_eps_ps"],
+        engine=engine,
+    )
+    realized, _result, stats = realize_verified_plan(
+        ctx,
+        tree,
+        payload["data"],
+        payload["solution"],
+        allow_batches=payload["allow_batches"],
+    )
+    return {"tree": tree_to_dict(realized), "stats": list(stats)}
+
+
+def build_realize_payload(
+    ctx, problem, tree, data, solution, allow_batches: bool
+) -> Dict[str, Any]:
+    """Package one sweep point for :func:`realize_point`."""
+    return {
+        "tree": tree_to_dict(tree),
+        "library": ctx.library,
+        "stage_luts": ctx.stage_luts,
+        "legalizer": ctx.legalizer,
+        "region": ctx.region,
+        "pairs": list(ctx.pairs),
+        "alphas": dict(ctx.alphas),
+        "baseline_skews": ctx.baseline_skews,
+        "eco_config": ctx.eco_config,
+        "batch_size": ctx.batch_size,
+        "improvement_eps_ps": ctx.improvement_eps_ps,
+        "wire_metric": problem.timer.wire_metric,
+        "segment_um": problem.timer.segment_um,
+        "data": data,
+        "solution": solution,
+        "allow_batches": allow_batches,
+    }

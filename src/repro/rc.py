@@ -10,8 +10,8 @@ topological order) shared by the Elmore and D2M metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
 
 
 @dataclass

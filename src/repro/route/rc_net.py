@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from itertools import islice
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
 from repro.geometry import Point, path_length
 from repro.route.rsmt import RouteTree

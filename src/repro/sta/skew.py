@@ -16,7 +16,7 @@ Given per-corner sink latencies, this module computes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.tech.corners import Corner, CornerSet
 

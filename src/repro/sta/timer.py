@@ -19,7 +19,7 @@ endpoints, so path latency is exactly the sum of its arc delays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.geometry import BBox, Point
@@ -33,7 +33,7 @@ from repro.sta.gate import inverter_pair_timing, quantize_gate_inputs
 from repro.sta.signoff import signoff_gate_factor
 from repro.sta.skew import SkewAnalysis
 from repro.sta.slew import wire_degraded_slew
-from repro.tech.corners import Corner, CornerSet
+from repro.tech.corners import Corner
 from repro.tech.library import Library
 
 

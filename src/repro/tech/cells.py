@@ -10,7 +10,7 @@ table-vs-reality gap the paper's ML models must absorb is genuine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np

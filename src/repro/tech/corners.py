@@ -18,7 +18,7 @@ c3     ff      1.32V   125C         Cmin
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 PROCESS_NAMES = ("ss", "tt", "ff")

@@ -13,8 +13,8 @@ The paper's lookup tables use five inverter sizes; we use X2..X32.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
 
 from repro.tech.cells import InverterCell, characterize_inverter
 from repro.tech.corners import Corner, CornerSet, default_corners

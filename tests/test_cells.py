@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.tech.cells import (
     DEFAULT_LOAD_AXIS,
     DEFAULT_SLEW_AXIS,
-    InverterCell,
     NLDMTable,
     characterize_inverter,
 )

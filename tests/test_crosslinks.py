@@ -8,7 +8,6 @@ from repro.core.crosslinks import (
     driving_point_resistance,
     insert_crosslinks,
 )
-from repro.sta.skew import SkewAnalysis
 
 
 class TestFirstOrderModel:
@@ -65,10 +64,10 @@ class TestInsertion:
         )
 
     def test_links_within_length_cap(self, result):
-        assert all(l.length_um <= 250.0 for l in result.links)
+        assert all(link.length_um <= 250.0 for link in result.links)
 
     def test_each_sink_linked_at_most_once(self, result):
-        endpoints = [n for l in result.links for n in (l.node_a, l.node_b)]
+        endpoints = [n for link in result.links for n in (link.node_a, link.node_b)]
         assert len(endpoints) == len(set(endpoints))
 
     def test_variation_reduced(self, result, mini_problem):
@@ -76,7 +75,7 @@ class TestInsertion:
 
     def test_wire_overhead_accounted(self, result):
         assert result.added_wirelength_um == pytest.approx(
-            sum(l.length_um for l in result.links)
+            sum(link.length_um for link in result.links)
         )
         assert result.added_wirelength_um > 0.0
 

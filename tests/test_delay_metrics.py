@@ -1,6 +1,5 @@
 """Elmore and D2M delay metrics: analytic checks and invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tech.corners import TABLE3_CORNERS, default_corners
+from repro.tech.corners import TABLE3_CORNERS
 from repro.tech.derating import (
     DerateModel,
     alpha_power_delay_factor,

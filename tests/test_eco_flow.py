@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.eco_flow import ECOConfig, LPGuidedECO
+from repro.core.eco_flow import LPGuidedECO
 from repro.core.lp import GlobalSkewLP, build_model_data
 from repro.tech.ratio_bounds import fit_all_ratio_bounds
 

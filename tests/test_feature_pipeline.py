@@ -203,7 +203,8 @@ class TestTrajectoryIdentity:
         outcome = optimizer.run()
         stats = outcome.stats
         assert stats is not None
-        assert set(stats) == {"stage", "pipeline", "engine"}
+        assert set(stats) == {"stage", "pipeline", "engine", "parallel"}
+        assert stats["parallel"] is None  # serial run: no pool engaged
         assert "featurize" in stats["stage"]["seconds"]
         assert "predict" in stats["stage"]["seconds"]
         assert stats["pipeline"] is not None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.tech.library import DEFAULT_SIZES, default_library
+from repro.tech.library import DEFAULT_SIZES
 
 
 class TestDefaultLibrary:

@@ -187,7 +187,7 @@ class TestUndo:
         t, n, legalizer, library = ctx
         # Give the old parent a second child after `child` so the undo
         # must reinsert at the original index, not append.
-        extra = t.add_sink(n["a"], Point(125, 140))
+        t.add_sink(n["a"], Point(125, 140))
         t.set_edge_via(n["child"], (Point(130, 115),))
         order_before = t.children(n["a"])
         move = Move(type=MoveType.SURGERY, buffer=n["child"], new_parent=n["b"])

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.objective import SkewVariationProblem
 
 
 class TestProblem:

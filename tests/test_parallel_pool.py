@@ -1,0 +1,287 @@
+"""Pool lifecycle and replica-sync tests for :mod:`repro.parallel`.
+
+The contracts under test:
+
+* a worker replica's verification verdicts equal the main engine's
+  (bit-identical floats, same degradation flag);
+* replaying the committed-move delta stream keeps a replica's timing
+  within 1e-9 ps of the main process (in practice: bit-identical);
+* corner-sharded verification merges to the whole-candidate verdict;
+* a worker crash mid-batch forfeits only its shard — the caller's
+  serial fallback produces correct results and the pool is rebuilt to
+  full strength for the next batch;
+* the parallel local-opt trajectory is identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.local_opt import LocalOptConfig, LocalOptimizer
+from repro.core.ml.training import train_predictor
+from repro.core.moves import enumerate_moves
+from repro.core.objective import SkewVariationProblem
+from repro.parallel import (
+    ParallelVerifier,
+    Replica,
+    ReplicaSpec,
+    WorkerPool,
+    merge_sharded_outcome,
+)
+from repro.testcases.mini import build_mini
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return SkewVariationProblem.create(build_mini())
+
+
+@pytest.fixture(scope="module")
+def moves(problem):
+    tree = problem.design.tree
+    found = enumerate_moves(tree, problem.design.library)
+    assert len(found) >= 6
+    return found[:6]
+
+
+@pytest.fixture(scope="module")
+def predictor(problem):
+    return train_predictor(problem.design.library, [], "full_rsmt_d2m")
+
+
+def serial_verdict(problem, tree, move, tol_ps=0.5):
+    result = problem.evaluate_move(tree, move)
+    return (
+        result.total_variation,
+        result.skews.degraded_local_skew(problem.baseline.skews, tol_ps=tol_ps),
+    )
+
+
+# ----------------------------------------------------------------------
+# Replica
+# ----------------------------------------------------------------------
+class TestReplica:
+    def test_verify_matches_main_engine(self, problem, moves):
+        tree = problem.design.tree.clone()
+        replica = Replica(ReplicaSpec.from_problem(problem, tree))
+        for index, move in enumerate(moves):
+            outcome = replica.verify(index, move)
+            tv, degraded = serial_verdict(problem, tree, move)
+            assert outcome.total_variation == tv
+            assert outcome.degraded == degraded
+
+    def test_delta_replay_keeps_timing_within_tolerance(self, problem, moves):
+        tree = problem.design.tree.clone()
+        replica = Replica(ReplicaSpec.from_problem(problem, tree))
+        # Commit two moves on the main side, replay them on the replica.
+        committed = []
+        for move in moves:
+            try:
+                problem.commit_move(tree, move)
+            except Exception:
+                continue
+            committed.append(move)
+            if len(committed) == 2:
+                break
+        assert len(committed) == 2
+        replica.sync(committed, first_index=0)
+        assert replica.applied == 2
+        main_result = problem.evaluate(tree)
+        replica_result = replica.evaluate()
+        assert (
+            abs(
+                main_result.total_variation
+                - replica_result.total_variation
+            )
+            <= 1e-9
+        )
+        for corner, latencies in main_result.latencies.items():
+            for sink, value in latencies.items():
+                assert abs(replica_result.latencies[corner][sink] - value) <= 1e-9
+
+    def test_sync_skips_already_applied_and_rejects_gaps(self, problem, moves):
+        tree = problem.design.tree.clone()
+        replica = Replica(ReplicaSpec.from_problem(problem, tree))
+        move = moves[0]
+        problem.engine()  # main engine exists independently
+        replica.sync([move], first_index=0)
+        # Redelivery of the same prefix is harmless (pool rebuild path).
+        replica.sync([move], first_index=0)
+        assert replica.applied == 1
+        with pytest.raises(ValueError, match="gap"):
+            replica.sync([move], first_index=3)
+
+    def test_sharded_merge_equals_whole_candidate(self, problem, moves):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        corner_names = [c.name for c in spec.library.corners]
+        assert len(corner_names) >= 2
+        split = len(corner_names) // 2
+        for index, move in enumerate(moves[:3]):
+            whole = Replica(spec).verify(index, move)
+            shard_a = Replica(spec).verify_corners(
+                index, move, corner_names[:split]
+            )
+            shard_b = Replica(spec).verify_corners(
+                index, move, corner_names[split:]
+            )
+            tv, degraded = merge_sharded_outcome(spec, [shard_b, shard_a])
+            assert tv == whole.total_variation
+            assert degraded == whole.degraded
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_verify_batch_matches_serial(self, problem, moves):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        with WorkerPool(2, spec=spec) as pool:
+            gathered = pool.verify_batch(moves)
+            assert len(gathered) == len(moves)
+            for move, shards in zip(moves, gathered):
+                assert shards is not None and len(shards) == 1
+                tv, degraded = serial_verdict(problem, tree, move)
+                assert shards[0].total_variation == tv
+                assert shards[0].degraded == degraded
+
+    def test_corner_sharding_when_workers_outnumber_batch(self, problem, moves):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        n_corners = len(spec.library.corners)
+        with WorkerPool(4, spec=spec) as pool:
+            gathered = pool.verify_batch(moves[:2])
+            assert pool.stats["sharded_batches"] == 1
+            for move, shards in zip(moves[:2], gathered):
+                assert shards is not None
+                assert 2 <= len(shards) <= n_corners
+                tv, degraded = merge_sharded_outcome(spec, shards)
+                want_tv, want_degraded = serial_verdict(problem, tree, move)
+                assert tv == want_tv
+                assert degraded == want_degraded
+
+    def test_crash_mid_batch_recovers_with_correct_results(self, problem, moves):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        with WorkerPool(2, spec=spec) as pool:
+            pool.crash_worker(0)
+            gathered = pool.verify_batch(moves)
+            # The dead worker's shard is forfeited, the other's survives.
+            assert any(shards is None for shards in gathered)
+            assert any(shards is not None for shards in gathered)
+            assert pool.stats["crashes"] == 1
+            assert pool.stats["failed_shards"] > 0
+            for move, shards in zip(moves, gathered):
+                if shards is None:
+                    continue
+                tv, _ = serial_verdict(problem, tree, move)
+                assert shards[0].total_variation == tv
+            # The pool rebuilt itself: next batch is fully parallel.
+            assert pool.alive_workers() == 2
+            gathered = pool.verify_batch(moves)
+            assert all(shards is not None for shards in gathered)
+
+    def test_crash_after_commits_resyncs_fresh_worker(self, problem, moves):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        with WorkerPool(2, spec=spec) as pool:
+            committed = []
+            for move in moves:
+                try:
+                    problem.commit_move(tree, move)
+                except Exception:
+                    continue
+                committed.append(move)
+                pool.record_commit(move)
+                if len(committed) == 2:
+                    break
+            assert len(committed) == 2
+            pool.crash_worker(0)
+            pool.crash_worker(1)
+            # Every shard of this batch is forfeited (both workers died
+            # mid-flight); the pool rebuilds afterwards.
+            gathered = pool.verify_batch(moves[:2])
+            assert all(shards is None for shards in gathered)
+            assert pool.alive_workers() == 2
+            # Fresh workers replay the full delta stream from the
+            # starting tree, so verdicts match the advanced main engine.
+            gathered = pool.verify_batch(moves[:2])
+            for move, shards in zip(moves[:2], gathered):
+                assert shards is not None
+                tv, degraded = serial_verdict(problem, tree, move)
+                merged = (
+                    merge_sharded_outcome(spec, shards)
+                    if shards[0].latencies is not None
+                    else (shards[0].total_variation, shards[0].degraded)
+                )
+                assert merged == (tv, degraded)
+
+    def test_call_scatters_and_keeps_order(self):
+        with WorkerPool(2) as pool:
+            payloads = [[1], [1, 2], [1, 2, 3], []]
+            results = pool.call("builtins:len", payloads)
+            assert results == [1, 2, 3, 0]
+
+    def test_call_crash_yields_none_for_forfeited_payloads(self):
+        with WorkerPool(2) as pool:
+            pool.crash_worker(0)
+            results = pool.call("builtins:len", [[1]] * 4)
+            assert results.count(None) > 0
+            assert all(r == 1 for r in results if r is not None)
+            # Dead worker respawned for subsequent calls.
+            assert pool.alive_workers() == 2
+            assert pool.call("builtins:len", [[1]] * 4) == [1, 1, 1, 1]
+
+
+# ----------------------------------------------------------------------
+# ParallelVerifier + trajectory identity
+# ----------------------------------------------------------------------
+class TestParallelLocalOpt:
+    def _run(self, predictor, workers, top_r=5, iterations=3):
+        prob = SkewVariationProblem.create(build_mini())
+        config = LocalOptConfig(
+            max_iterations=iterations, workers=workers, top_r=top_r
+        )
+        outcome = LocalOptimizer(prob, predictor, config).run()
+        trajectory = [
+            (
+                repr(record.move),
+                record.predicted_reduction_ps,
+                record.actual_reduction_ps,
+                record.objective_after_ps,
+            )
+            for record in outcome.history
+        ]
+        return trajectory, outcome
+
+    def test_workers2_trajectory_identical_to_serial(self, predictor):
+        serial, serial_outcome = self._run(predictor, workers=1)
+        parallel, parallel_outcome = self._run(predictor, workers=2)
+        assert serial == parallel
+        assert (
+            serial_outcome.final_objective_ps
+            == parallel_outcome.final_objective_ps
+        )
+        stats = parallel_outcome.stats["parallel"]
+        assert stats is not None
+        assert stats["verify_batches"] > 0
+        assert stats["serial_fallbacks"] == 0
+        assert serial_outcome.stats["parallel"] is None
+
+    def test_sharded_workers_trajectory_identical(self, predictor):
+        serial, _ = self._run(predictor, workers=1, top_r=2, iterations=2)
+        parallel, outcome = self._run(predictor, workers=5, top_r=2, iterations=2)
+        assert serial == parallel
+        assert outcome.stats["parallel"]["sharded_batches"] > 0
+
+    def test_verifier_serial_fallback_matches(self, problem, moves):
+        tree = problem.design.tree.clone()
+        with ParallelVerifier(problem, tree, workers=2) as verifier:
+            verifier._pool.crash_worker(0)
+            verdicts = verifier.verify_batch(tree, list(moves))
+            assert verifier.stats_dict()["serial_fallbacks"] > 0
+            for move, (tv, degraded) in zip(moves, verdicts):
+                want_tv, want_degraded = serial_verdict(problem, tree, move)
+                assert tv == want_tv
+                assert degraded == want_degraded

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.tech.ratio_bounds import (
-    RatioBounds,
-    fit_ratio_bounds,
-    sample_ratio_cloud,
-)
+from repro.tech.ratio_bounds import fit_ratio_bounds, sample_ratio_cloud
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import BBox, Point, hpwl
+from repro.geometry import Point, hpwl
 from repro.route.rsmt import ONE_STEINER_MAX_PINS, rectilinear_mst, rsmt
 
 coords = st.floats(0.0, 1000.0, allow_nan=False)

@@ -76,6 +76,84 @@ class TestRoundTrip:
         assert a == b
 
 
+def assert_trees_field_equal(original: ClockTree, rebuilt: ClockTree) -> None:
+    """Field-by-field equality over everything a worker replica consumes.
+
+    Exact (bitwise) float comparison on locations and vias: parallel
+    verification workers must reproduce the main process's timing bit
+    for bit, which starts with bit-identical geometry.
+    """
+    assert rebuilt.root == original.root
+    assert rebuilt.next_id == original.next_id
+    assert rebuilt.node_ids() == original.node_ids()
+    for nid in original.node_ids():
+        a, b = original.node(nid), rebuilt.node(nid)
+        assert a.kind == b.kind
+        assert (a.location.x, a.location.y) == (b.location.x, b.location.y)
+        assert a.size == b.size
+        assert tuple((p.x, p.y) for p in a.via) == tuple(
+            (p.x, p.y) for p in b.via
+        )
+        assert original.parent(nid) == rebuilt.parent(nid)
+        # Fanout order decides net evaluation order and undo indices.
+        assert original.children(nid) == rebuilt.children(nid)
+
+
+class TestWorkerReplicaContract:
+    """Round trips of the real testcases (the parallel-worker path)."""
+
+    @pytest.fixture(scope="class")
+    def cls1_design(self):
+        from repro.testcases.cls1 import build_cls1
+
+        return build_cls1(1)
+
+    def test_mini_round_trip_all_fields(self, mini_design):
+        tree = mini_design.tree
+        assert_trees_field_equal(tree, tree_from_dict(tree_to_dict(tree)))
+
+    def test_cls1_round_trip_all_fields(self, cls1_design):
+        tree = cls1_design.tree
+        assert_trees_field_equal(tree, tree_from_dict(tree_to_dict(tree)))
+
+    def test_mini_timing_bit_identical(self, mini_design):
+        from repro.sta.timer import GoldenTimer
+
+        timer = GoldenTimer(mini_design.library)
+        rebuilt = tree_from_json(tree_to_json(mini_design.tree))
+        assert timer.latencies(mini_design.tree) == timer.latencies(rebuilt)
+
+    def test_cls1_timing_bit_identical(self, cls1_design):
+        from repro.sta.timer import GoldenTimer
+
+        timer = GoldenTimer(cls1_design.library)
+        rebuilt = tree_from_json(tree_to_json(cls1_design.tree))
+        assert timer.latencies(cls1_design.tree) == timer.latencies(rebuilt)
+
+    def test_id_allocation_matches_after_removal(self):
+        """Replicas must allocate the same ids the original would.
+
+        Buffer removal leaves a hole in the id space; without the
+        serialized ``next_id`` a replica would re-derive ``max(id) + 1``
+        and its next insertion would diverge from the original's.
+        """
+        t = build_sample()
+        t.remove_buffer(t.buffers()[-1])  # leaves an id gap at the top
+        rebuilt = tree_from_dict(tree_to_dict(t))
+        assert rebuilt.next_id == t.next_id
+        sink = t.sinks()[0]
+        a = t.insert_buffer_on_edge(sink, Point(10, 10), 4)
+        b = rebuilt.insert_buffer_on_edge(sink, Point(10, 10), 4)
+        assert a == b
+
+    def test_restore_rejects_colliding_next_id(self):
+        t = build_sample()
+        payload = tree_to_dict(t)
+        payload["next_id"] = 1  # collides with existing ids
+        with pytest.raises(ValueError):
+            tree_from_dict(payload)
+
+
 class TestValidation:
     def test_bad_schema_rejected(self):
         with pytest.raises(ValueError):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sta.timer import GoldenTimer
 from repro.testcases.mini import build_mini
 
 
