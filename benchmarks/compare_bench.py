@@ -31,12 +31,14 @@ TRACKED = {
     "BENCH_timer_smoke.json": ("speedup",),
     "BENCH_localopt_smoke.json": ("speedup",),
     "BENCH_parallel_smoke.json": (),
+    "BENCH_kernel_smoke.json": ("speedup",),
 }
 
 #: file name -> boolean flags that must not regress to false.
 FLAGS = {
     "BENCH_localopt_smoke.json": ("trajectory_identical",),
     "BENCH_parallel_smoke.json": ("trajectory_identical",),
+    "BENCH_kernel_smoke.json": ("kernel_identical",),
 }
 
 

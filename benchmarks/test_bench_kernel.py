@@ -1,0 +1,155 @@
+"""Bench: batched array kernel vs the scalar reference timing path.
+
+The kernel compiles the clock tree to SoA/CSR arrays and propagates all
+corners at once with vectorized NLDM lookups; the reference path walks
+the tree corner-by-corner with dict state.  Both are the *same* model —
+the kernel's contract is agreement to <= 1e-9 ps (bit-identical in
+practice), so this bench measures pure execution-engine speedup.
+
+Writes ``results/BENCH_kernel.json`` with full-tree all-corner analysis
+times for both backends, the incremental preview (retime) times, and a
+``kernel_identical`` flag, and asserts the tentpole target: **>= 5x**
+single-thread full-tree analysis on CLS1v1.  A MINI smoke variant
+(``-k smoke``) runs in seconds for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _util import RESULTS_DIR, emit
+from repro.core.moves import apply_move_undoable, enumerate_moves, undo_move
+from repro.sta.incremental import IncrementalTimer
+from repro.sta.timer import GoldenTimer
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.mini import build_mini
+
+#: Agreement bound between the two backends (ps).
+TOL_PS = 1e-9
+
+_FIELDS = (
+    "arrival",
+    "input_slew",
+    "driver_delay",
+    "driver_load",
+    "driver_out_slew",
+    "edge_delay",
+    "edge_elmore",
+)
+
+
+def _max_err(got, want):
+    worst = 0.0
+    for name in want:
+        for field in _FIELDS:
+            got_map = getattr(got[name], field)
+            want_map = getattr(want[name], field)
+            for key, value in want_map.items():
+                worst = max(worst, abs(got_map[key] - value))
+    return worst
+
+
+def _time_full(timer, tree, repeats):
+    timer.analyze_all_corners(tree)  # warm edge/gate caches + compile
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        timer.analyze_all_corners(tree)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_retime(design, wire_backend, moves, pairs):
+    engine = IncrementalTimer(design.library, wire_backend=wire_backend)
+    tree = design.tree.clone()
+    engine.ensure(tree)
+    t0 = time.perf_counter()
+    for move in moves:
+        undo = apply_move_undoable(tree, design.legalizer, design.library, move)
+        engine.preview(tree, undo.dirty, pairs)
+        undo_move(tree, undo)
+        engine.rebase(tree)
+    return time.perf_counter() - t0
+
+
+def _candidate_moves(design, limit):
+    moves = enumerate_moves(design.tree, design.library)
+    if len(moves) <= limit:
+        return moves
+    stride = len(moves) // limit
+    return [moves[i * stride] for i in range(limit)]
+
+
+def _run_comparison(design, repeats, move_limit):
+    tree = design.tree
+    reference = GoldenTimer(design.library, wire_backend="reference")
+    kernel = GoldenTimer(design.library, wire_backend="kernel")
+
+    max_err = _max_err(
+        kernel.analyze_all_corners(tree), reference.analyze_all_corners(tree)
+    )
+    ref_s = _time_full(reference, tree, repeats)
+    ker_s = _time_full(kernel, tree, repeats)
+
+    moves = _candidate_moves(design, move_limit)
+    pairs = design.pairs
+    retime_ref_s = _time_retime(design, "reference", moves, pairs)
+    retime_ker_s = _time_retime(design, "kernel", moves, pairs)
+
+    return {
+        "design": design.name,
+        "nodes": len(tree),
+        "corners": [c.name for c in design.library.corners],
+        "max_err_ps": max_err,
+        "kernel_identical": max_err <= TOL_PS,
+        "full_reference_ms": round(1000.0 * ref_s, 3),
+        "full_kernel_ms": round(1000.0 * ker_s, 3),
+        "speedup": round(ref_s / ker_s, 2),
+        "retime_moves": len(moves),
+        "retime_reference_ms": round(1000.0 * retime_ref_s, 3),
+        "retime_kernel_ms": round(1000.0 * retime_ker_s, 3),
+        "retime_speedup": round(retime_ref_s / retime_ker_s, 2),
+    }
+
+
+def _report(tag, record):
+    lines = [
+        f"BENCH kernel ({record['design']}): "
+        f"all-corner full-tree analysis, {len(record['corners'])} corners",
+        f"  reference : {record['full_reference_ms']:9.3f} ms",
+        f"  kernel    : {record['full_kernel_ms']:9.3f} ms",
+        f"  speedup   : {record['speedup']:.2f}x "
+        f"(retime {record['retime_speedup']:.2f}x over "
+        f"{record['retime_moves']} previews)",
+        f"  max |d| = {record['max_err_ps']:.3e} ps",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def test_bench_kernel_cls1():
+    """Tentpole acceptance: >= 5x full-tree analysis on CLS1v1."""
+    design = build_cls1(1)
+    record = _run_comparison(design, repeats=5, move_limit=60)
+    _report("BENCH_kernel", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernel.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    assert record["kernel_identical"], record
+    assert record["speedup"] >= 5.0, record
+
+
+def test_bench_kernel_smoke():
+    """MINI-scale smoke (CI): identity plus a modest speedup floor."""
+    design = build_mini()
+    record = _run_comparison(design, repeats=20, move_limit=30)
+    _report("BENCH_kernel_smoke", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernel_smoke.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    assert record["kernel_identical"], record
+    # MINI's tree is tiny, so per-level batches are short; the floor
+    # only guards against regressions.
+    assert record["speedup"] >= 2.0, record

@@ -41,7 +41,10 @@ def _run_comparison(design, limit):
     problem = SkewVariationProblem.create(design)
     tree = design.tree.clone()
     moves = _candidate_moves(design, limit)
-    golden = GoldenTimer(design.library)
+    # The full path is pinned to the scalar reference backend: this
+    # bench measures the pre-incremental clone + full-retime pattern,
+    # not the array kernel (BENCH_kernel covers that axis).
+    golden = GoldenTimer(design.library, wire_backend="reference")
     pairs = design.pairs
 
     # Full path: the pre-tentpole pattern — clone, apply, re-time all.
@@ -78,6 +81,7 @@ def _run_comparison(design, limit):
         "incremental_ms_per_move": round(1000.0 * inc_s / len(moves), 3),
         "speedup": round(full_s / inc_s, 2),
         "max_objective_err_ps": max_err,
+        "engine_backend": engine.wire_backend,
         "engine_stats": dict(engine.stats),
     }
 
@@ -107,10 +111,15 @@ def test_bench_timer_perf_cls1():
     )
     assert record["max_objective_err_ps"] <= TOL_PS
     assert record["speedup"] >= 5.0, record
-    # The gate memo keys on quantized (slew, load): at this scale the
-    # cascade tails must actually recur (a zero here means the key has
-    # regressed to raw floats that never repeat).
-    assert record["engine_stats"]["gate_hits"] > 0, record["engine_stats"]
+    if record["engine_backend"] == "reference":
+        # The gate memo keys on quantized (slew, load): at this scale
+        # the cascade tails must actually recur (a zero here means the
+        # key has regressed to raw floats that never repeat).
+        assert record["engine_stats"]["gate_hits"] > 0, record["engine_stats"]
+    else:
+        # The kernel batches gate evaluations without the scalar memo;
+        # every candidate still retimes through the array path.
+        assert record["engine_stats"]["retimes"] == record["moves"], record
 
 
 def test_bench_timer_perf_smoke():

@@ -100,8 +100,11 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.core.ml.training import train_predictor
     from repro.core.objective import SkewVariationProblem
 
+    from repro.sta.timer import GoldenTimer
+
     design = _build_design(args.testcase)
-    problem = SkewVariationProblem.create(design)
+    timer = GoldenTimer(design.library, wire_backend=args.wire_backend)
+    problem = SkewVariationProblem.create(design, timer=timer)
     base = problem.baseline
     print(f"baseline sum of skew variations: {base.total_variation:.1f} ps")
 
@@ -339,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trajectory-out",
         default=None,
         help="write the committed-move trajectory as JSON (determinism checks)",
+    )
+    p_opt.add_argument(
+        "--wire-backend",
+        default="kernel",
+        choices=("kernel", "reference"),
+        help="timing execution engine (bit-identical; reference is the scalar path)",
     )
     p_opt.add_argument("--out", default=None)
 

@@ -18,8 +18,9 @@ matching the paper's Figure 6 setup (114 buffers x 45 moves).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.eco.legalize import Legalizer
 from repro.eco.operators import apply_displacement, apply_sizing, apply_tree_surgery
@@ -84,12 +85,63 @@ def _pick_child_buffer(tree: ClockTree, buffer: int) -> Optional[int]:
     return max(candidates, key=lambda c: (len(tree.subtree_sinks(c)), -c))
 
 
+class SurgeryIndex:
+    """Grid-bucket spatial index over a tree's buffer locations.
+
+    Buckets every buffer into square cells of ``cell_um`` (the surgery
+    window edge), so a window query inspects at most the 3x3 cell block
+    around the window instead of every buffer — the O(buffers²) scan of
+    per-buffer surgery enumeration becomes O(buffers x window-occupancy).
+    The index is a pure *superset* filter: callers still apply the exact
+    window/level/subtree predicates to every returned id, so results are
+    identical to the full scan (candidate order is normalized by the
+    final sort either way).
+
+    Build once per enumeration pass; the index does not track tree
+    mutations.
+    """
+
+    def __init__(self, tree: ClockTree, cell_um: float = SURGERY_WINDOW_UM) -> None:
+        if cell_um <= 0.0:
+            raise ValueError("cell size must be positive")
+        self._cell = cell_um
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for nid in tree.buffers():
+            loc = tree.node(nid).location
+            key = (
+                math.floor(loc.x / cell_um),
+                math.floor(loc.y / cell_um),
+            )
+            buckets.setdefault(key, []).append(nid)
+        self._buckets = buckets
+
+    def near(self, center: Point, half_um: float) -> Iterable[int]:
+        """Buffer ids from every cell overlapping the window (superset)."""
+        cell = self._cell
+        x0 = math.floor((center.x - half_um) / cell)
+        x1 = math.floor((center.x + half_um) / cell)
+        y0 = math.floor((center.y - half_um) / cell)
+        y1 = math.floor((center.y + half_um) / cell)
+        buckets = self._buckets
+        for gx in range(x0, x1 + 1):
+            for gy in range(y0, y1 + 1):
+                bucket = buckets.get((gx, gy))
+                if bucket:
+                    yield from bucket
+
+
 def surgery_candidates(
     tree: ClockTree,
     buffer: int,
     window_um: float = SURGERY_WINDOW_UM,
+    index: Optional[SurgeryIndex] = None,
 ) -> List[int]:
-    """Alternative same-level drivers for ``buffer`` within the window."""
+    """Alternative same-level drivers for ``buffer`` within the window.
+
+    With ``index`` (a :class:`SurgeryIndex` built on the same tree
+    state), only buffers from the window's grid cells are screened; the
+    result is identical to the full scan.
+    """
     parent = tree.parent(buffer)
     if parent is None:
         return []
@@ -97,8 +149,11 @@ def surgery_candidates(
     center = tree.node(parent).location
     half = window_um / 2.0
     subtree = set(tree.subtree_ids(buffer))
+    candidates: Iterable[int] = (
+        index.near(center, half) if index is not None else tree.buffers()
+    )
     out: List[int] = []
-    for nid in tree.buffers():
+    for nid in candidates:
         if nid == parent or nid in subtree:
             continue
         loc = tree.node(nid).location
@@ -120,6 +175,7 @@ def enumerate_moves(
     """All Table-2 candidate moves for ``buffers`` (default: every buffer)."""
     moves: List[Move] = []
     targets = sorted(buffers) if buffers is not None else sorted(tree.buffers())
+    surgery_index = SurgeryIndex(tree, cell_um=surgery_window_um)
     for nid in targets:
         node = tree.node(nid)
         if not node.is_buffer:
@@ -151,7 +207,9 @@ def enumerate_moves(
                             child_size_step=step,
                         )
                     )
-        for new_parent in surgery_candidates(tree, nid, surgery_window_um):
+        for new_parent in surgery_candidates(
+            tree, nid, surgery_window_um, index=surgery_index
+        ):
             moves.append(
                 Move(type=MoveType.SURGERY, buffer=nid, new_parent=new_parent)
             )

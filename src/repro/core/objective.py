@@ -66,6 +66,7 @@ class SkewVariationProblem:
                 self.design.library,
                 wire_metric=self.timer.wire_metric,
                 segment_um=self.timer.segment_um,
+                wire_backend=self.timer.wire_backend,
             )
             self.__dict__["_engine"] = engine
         return engine

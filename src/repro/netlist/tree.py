@@ -271,6 +271,27 @@ class ClockTree:
             queue.extend(self._children[nid])
         return order
 
+    def bfs_structure(self) -> Tuple[List[int], List[Tuple[int, ...]]]:
+        """BFS order plus each node's children, in one pass.
+
+        Equivalent to pairing :meth:`topological_order` with a
+        :meth:`children` call per node, minus the per-call validation —
+        the bulk structure accessor the batched timing kernel's CSR
+        compiler consumes.  BFS order is sorted by depth, which is what
+        makes the kernel's per-level node and edge ranges contiguous.
+        """
+        order: List[int] = []
+        fanouts: List[Tuple[int, ...]] = []
+        queue = deque((self.root,))
+        children = self._children
+        while queue:
+            nid = queue.popleft()
+            kids = children[nid]
+            order.append(nid)
+            fanouts.append(tuple(kids))
+            queue.extend(kids)
+        return order, fanouts
+
     def depth(self, nid: int) -> int:
         """Number of edges from the root to ``nid``."""
         self._require(nid)

@@ -50,6 +50,7 @@ class ReplicaSpec:
     wire_metric: str = "d2m"
     segment_um: float = DEFAULT_SEGMENT_UM
     local_skew_tolerance_ps: float = 0.5
+    wire_backend: str = "kernel"
 
     @staticmethod
     def from_problem(
@@ -66,6 +67,7 @@ class ReplicaSpec:
             wire_metric=problem.timer.wire_metric,
             segment_um=problem.timer.segment_um,
             local_skew_tolerance_ps=local_skew_tolerance_ps,
+            wire_backend=problem.timer.wire_backend,
         )
 
 
@@ -95,6 +97,7 @@ class Replica:
             spec.library,
             wire_metric=spec.wire_metric,
             segment_um=spec.segment_um,
+            wire_backend=spec.wire_backend,
         )
         self.engine.ensure(self.tree)
         #: Number of committed moves replayed so far.

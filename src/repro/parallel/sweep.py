@@ -42,6 +42,7 @@ def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
         payload["library"],
         wire_metric=payload["wire_metric"],
         segment_um=payload["segment_um"],
+        wire_backend=payload.get("wire_backend", "kernel"),
     )
     ctx = RealizationContext(
         library=payload["library"],
@@ -84,6 +85,7 @@ def build_realize_payload(
         "improvement_eps_ps": ctx.improvement_eps_ps,
         "wire_metric": problem.timer.wire_metric,
         "segment_um": problem.timer.segment_um,
+        "wire_backend": problem.timer.wire_backend,
         "data": data,
         "solution": solution,
         "allow_batches": allow_batches,

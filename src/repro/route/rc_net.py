@@ -107,8 +107,10 @@ class EdgeRCCache:
     pitch, and the corner's wire RC constants, and a hit skips both the
     RC-tree segment construction and the moment recursions.
 
-    Eviction is FIFO-ish (insertion order) at ``max_entries``; dropping
-    entries only costs recomputation, never correctness.
+    Eviction is LRU: a hit moves the entry to the most-recent end, and
+    at ``max_entries`` the least-recently-used half is dropped (counted
+    in ``evictions``).  Dropping entries only costs recomputation, never
+    correctness.
     """
 
     def __init__(self, max_entries: int = 262144) -> None:
@@ -118,6 +120,7 @@ class EdgeRCCache:
         self._metrics: Dict[Tuple, Tuple[float, float]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -127,8 +130,10 @@ class EdgeRCCache:
 
     def _evict_if_full(self) -> None:
         if len(self._metrics) >= self._max:
-            for key in list(islice(self._metrics, self._max // 2)):
+            stale = list(islice(self._metrics, self._max // 2))
+            for key in stale:
                 del self._metrics[key]
+            self.evictions += len(stale)
 
     def metrics(
         self,
@@ -145,9 +150,14 @@ class EdgeRCCache:
             length_um,
             load_ff,
         )
-        found = self._metrics.get(key)
+        metrics = self._metrics
+        found = metrics.get(key)
         if found is not None:
             self.hits += 1
+            # LRU refresh: dict preserves insertion order, so re-inserting
+            # moves the hot key out of the half that eviction drops.
+            del metrics[key]
+            metrics[key] = found
             return found
         self.misses += 1
         # Local imports: repro.sta depends on this module for RC builders,

@@ -12,6 +12,12 @@ with the standard linear-time recursion:
 
     m1_i = sum_k R_common(i, k) * C_k
     m2_i = sum_k R_common(i, k) * C_k * m1_k
+
+Per-edge D2M values are slew-independent, so the array kernel
+(:mod:`repro.sta.kernel`) evaluates them once at tree-compile time via
+:class:`repro.route.rc_net.EdgeRCCache` — the cached scalars feed both
+backends, which keeps the kernel's wire delays bit-identical to this
+implementation by construction.
 """
 
 from __future__ import annotations

@@ -5,6 +5,13 @@ computed with the classic two-pass linear-time algorithm: accumulate
 downstream capacitance leaves-first, then accumulate delay root-first.
 Elmore is a provable upper bound on the 50% step-response delay of an RC
 tree, which several tests exploit as an invariant.
+
+Like D2M, per-edge Elmore values are slew-independent compile-time
+constants to the array kernel (:mod:`repro.sta.kernel`): they are
+computed here once per (edge geometry, load, corner) through the shared
+:class:`repro.route.rc_net.EdgeRCCache` and stored in the compiled
+per-corner arrays, so kernel and reference wire delays are the same
+floats, not merely close.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ A clock-tree "buffer" in this library is an inverter pair: two identical
 inverters in series, the first loaded only by the second's input pin (they
 are co-located), the second loaded by the net.  The pair is non-inverting,
 so the whole tree runs on a single clock phase.
+
+This scalar evaluator is the *reference semantics* for the batched array
+kernel (:mod:`repro.sta.kernel`): the kernel replicates the quantize →
+lookup → correction sequence operation-for-operation (``np.rint`` on the
+same quanta, the same four-corner bilinear blend, ``math``-backed
+transcendentals) so both backends produce bit-identical delays.  Any
+change here must be mirrored there or the kernel differential suite
+(`tests/test_kernel.py`) will fail.
 """
 
 from __future__ import annotations

@@ -135,9 +135,12 @@ class IncrementalTimer:
         wire_metric: str = "d2m",
         segment_um: float = DEFAULT_SEGMENT_UM,
         max_cache_entries: int = 131072,
+        wire_backend: str = "kernel",
     ) -> None:
         if wire_metric not in ("d2m", "elmore"):
             raise ValueError("wire_metric must be 'd2m' or 'elmore'")
+        if wire_backend not in ("kernel", "reference"):
+            raise ValueError("wire_backend must be 'kernel' or 'reference'")
         self._library = library
         self._wire_metric = wire_metric
         self._segment_um = segment_um
@@ -145,6 +148,11 @@ class IncrementalTimer:
         self._net_cache: Dict[Tuple, _NetEval] = {}
         self._gate_cache: Dict[Tuple, Tuple[float, float]] = {}
         self._edge_cache = EdgeRCCache(max_entries=2 * self._max_entries)
+        self._wire_backend = wire_backend
+        self._kernel = None  # lazy TimingKernel (kernel backend only)
+        self._kernel_unsupported = False
+        self._compiled = None  # CompiledTree of the attached tree
+        self._kstate = None  # KernelState of the attached tree
         self._tree: Optional[ClockTree] = None
         self._stamp: Optional[Tuple[int, int]] = None
         self._states: Dict[str, _CornerState] = {}
@@ -181,13 +189,51 @@ class IncrementalTimer:
     def edge_cache(self) -> EdgeRCCache:
         return self._edge_cache
 
+    @property
+    def wire_backend(self) -> str:
+        return self._wire_backend
+
+    def _kernel_obj(self):
+        """The lazily built :class:`~repro.sta.kernel.TimingKernel`.
+
+        Shares this timer's :class:`EdgeRCCache`, so compiled edge
+        metrics and reference-path evaluations draw from one pool.
+        """
+        if self._kernel is None:
+            from repro.sta.kernel import TimingKernel
+
+            self._kernel = TimingKernel(
+                self._library,
+                self._wire_metric,
+                self._segment_um,
+                edge_cache=self._edge_cache,
+            )
+        return self._kernel
+
     def is_attached(self, tree: ClockTree) -> bool:
         """True if ``tree`` is the tree this timer's state describes."""
         return self._stamp == (id(tree), tree.revision)
 
     def attach(self, tree: ClockTree) -> None:
-        """Bind to ``tree``: full per-corner propagation with cache reuse."""
+        """Bind to ``tree``: full propagation (batched or per corner)."""
         self.stats["full_passes"] += 1
+        if self._wire_backend == "kernel" and not self._kernel_unsupported:
+            from repro.sta.kernel import KernelUnsupported
+
+            try:
+                compiled = self._kernel_obj().compile(tree)
+            except KernelUnsupported:
+                self._kernel_unsupported = True
+            else:
+                self._compiled = compiled
+                self._kstate = compiled.propagate()
+                self._states = {}
+                self._tree = tree
+                self._stamp = (id(tree), tree.revision)
+                self.last_touched = None
+                return
+        self._compiled = None
+        self._kstate = None
         self._states = {
             corner.name: self._full_state(tree, corner)
             for corner in self._library.corners
@@ -219,6 +265,13 @@ class IncrementalTimer:
     def corner_timings(self, tree: ClockTree) -> Dict[str, CornerTiming]:
         """Per-corner timing of ``tree`` (attaching if needed)."""
         self.ensure(tree)
+        if self._kstate is not None:
+            return {
+                corner.name: self._compiled.corner_timing(
+                    self._kstate, corner.name
+                )
+                for corner in self._library.corners
+            }
         return {
             corner.name: self._states[corner.name].as_corner_timing(corner)
             for corner in self._library.corners
@@ -227,6 +280,8 @@ class IncrementalTimer:
     def analyze_corner(self, tree: ClockTree, corner: Corner) -> CornerTiming:
         """GoldenTimer-compatible single-corner analysis of ``tree``."""
         self.ensure(tree)
+        if self._kstate is not None:
+            return self._compiled.corner_timing(self._kstate, corner.name)
         return self._states[corner.name].as_corner_timing(corner)
 
     def time_tree(
@@ -237,6 +292,10 @@ class IncrementalTimer:
     ) -> TimingResult:
         """GoldenTimer-compatible full result (memoized full propagation)."""
         self.ensure(tree)
+        if self._kstate is not None:
+            return self._snapshot_kernel(
+                tree, self._compiled, self._kstate, pairs, alphas
+            )
         return self._snapshot(tree, self._states, pairs, alphas)
 
     def preview(
@@ -254,6 +313,9 @@ class IncrementalTimer:
         state is left at the pre-mutation tree: undo the mutation and
         call :meth:`rebase` to continue issuing previews cheaply.
         """
+        if self._kstate is not None:
+            state, _, compiled = self._kernel_retime(tree, dirty)
+            return self._snapshot_kernel(tree, compiled, state, pairs, alphas)
         states = self._retime(tree, dirty)
         return self._snapshot(tree, states, pairs, alphas)
 
@@ -276,6 +338,9 @@ class IncrementalTimer:
             if corner_names is not None
             else tuple(c.name for c in self._library.corners)
         )
+        if self._kstate is not None:
+            state, _, compiled = self._kernel_retime(tree, dirty)
+            return compiled.sink_latencies(state, tree.sinks(), names)
         states = self._retime(tree, dirty, corner_names=names)
         sinks = tree.sinks()
         return {
@@ -291,6 +356,27 @@ class IncrementalTimer:
     ) -> TimingResult:
         """Like :meth:`preview`, but adopt the mutated tree as current."""
         touched = (set(), set())
+        if self._kstate is not None:
+            state, overrides, compiled = self._kernel_retime(
+                tree, dirty, touched
+            )
+            if compiled is not self._compiled:
+                # Mutation outside the compiled node set: adopt the fresh
+                # compile and its full propagation.
+                self._compiled = compiled
+            elif not self._compiled.apply_rows(overrides):
+                # Structural move (surgery): BFS order changed, so rebuild
+                # the CSR arrays and carry the retimed state across by
+                # node-id permutation.
+                recompiled = self._kernel_obj().compile(tree)
+                state = recompiled.remap_state(self._compiled, state)
+                self._compiled = recompiled
+            self._kstate = state
+            self._stamp = (id(tree), tree.revision)
+            self.last_touched = (frozenset(touched[0]), frozenset(touched[1]))
+            return self._snapshot_kernel(
+                tree, self._compiled, state, pairs, alphas
+            )
         states = self._retime(tree, dirty, touched)
         self._states = states
         self._stamp = (id(tree), tree.revision)
@@ -358,6 +444,46 @@ class IncrementalTimer:
             )
             for corner in corners
         }
+
+    def _kernel_retime(
+        self,
+        tree: ClockTree,
+        dirty: Iterable[int],
+        touched: Optional[Tuple[set, set]] = None,
+    ):
+        """Kernel-backend counterpart of :meth:`_retime`.
+
+        Returns ``(state, overrides, compiled)``.  ``compiled`` is the
+        attached :class:`CompiledTree` except when the mutation referenced
+        nodes the compiled arrays do not know (ECO surgery outside the
+        Table-2 move set): then the mutated tree is fully recompiled and
+        freshly propagated, and ``compiled`` is that new object.
+        """
+        if self._tree is not tree:
+            raise ValueError(
+                "preview/advance requires the attached tree; call ensure() first"
+            )
+        from repro.sta.kernel import KernelStale
+
+        self.stats["retimes"] += 1
+        try:
+            overrides, seeds = self._compiled.build_overrides(tree, set(dirty))
+            state = self._compiled.retime(
+                tree,
+                self._kstate,
+                overrides,
+                seeds,
+                stats=self.stats,
+                touched=touched,
+            )
+            return state, overrides, self._compiled
+        except KernelStale:
+            compiled = self._kernel_obj().compile(tree)
+            state = compiled.propagate()
+            if touched is not None:
+                touched[0].update(compiled.ids)
+                touched[1].update(compiled.ids)
+            return state, {}, compiled
 
     def _retime_state(
         self,
@@ -565,6 +691,27 @@ class IncrementalTimer:
             state = states[corner.name]
             per_corner[corner.name] = state.as_corner_timing(corner)
             latencies[corner.name] = {s: state.arrival[s] for s in sinks}
+        skews = SkewAnalysis.from_latencies(
+            latencies, list(pairs), self._library.corners, alphas
+        )
+        return TimingResult(
+            per_corner=per_corner, latencies=latencies, skews=skews
+        )
+
+    def _snapshot_kernel(
+        self,
+        tree: ClockTree,
+        compiled,
+        state,
+        pairs: Sequence[Tuple[int, int]],
+        alphas: Optional[Mapping[str, float]],
+    ) -> TimingResult:
+        """Kernel-state counterpart of :meth:`_snapshot`."""
+        latencies = compiled.sink_latencies(state, tree.sinks())
+        per_corner = {
+            corner.name: compiled.corner_timing(state, corner.name)
+            for corner in self._library.corners
+        }
         skews = SkewAnalysis.from_latencies(
             latencies, list(pairs), self._library.corners, alphas
         )

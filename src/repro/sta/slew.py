@@ -19,10 +19,19 @@ LN9 = math.log(9.0)
 
 
 def peri_slew(input_slew_ps: float, step_output_slew_ps: float) -> float:
-    """Ramp-input output slew per PERI: sqrt(s_in^2 + s_step^2)."""
+    """Ramp-input output slew per PERI: sqrt(s_in^2 + s_step^2).
+
+    Written as ``sqrt(x*x + y*y)`` rather than ``hypot``: slews never
+    approach overflow, and this exact operation sequence is what the
+    batched kernel (:mod:`repro.sta.kernel`) vectorizes, so reference and
+    kernel backends agree bit for bit.
+    """
     if input_slew_ps < 0 or step_output_slew_ps < 0:
         raise ValueError("negative slew")
-    return math.hypot(input_slew_ps, step_output_slew_ps)
+    return math.sqrt(
+        input_slew_ps * input_slew_ps
+        + step_output_slew_ps * step_output_slew_ps
+    )
 
 
 def wire_step_slew(elmore_ps: float) -> float:

@@ -44,16 +44,21 @@ class CornerTiming:
     ``arrival`` holds the arrival time at every node's *input* (ps, relative
     to the clock source input); ``input_slew`` the transition at each input;
     ``driver_delay`` the inverter-pair delay at each driver node.
+
+    Fields are read-only mappings by contract: the reference backend fills
+    plain dicts, the batched kernel returns array-backed views
+    (:class:`repro.sta.kernel.ArrayMap`) with identical lookup/iteration
+    behavior.  Consumers must not mutate them.
     """
 
     corner: Corner
-    arrival: Dict[int, float]
-    input_slew: Dict[int, float]
-    driver_delay: Dict[int, float]
-    driver_load: Dict[int, float]
-    driver_out_slew: Dict[int, float]
-    edge_delay: Dict[int, float]
-    edge_elmore: Dict[int, float]
+    arrival: Mapping[int, float]
+    input_slew: Mapping[int, float]
+    driver_delay: Mapping[int, float]
+    driver_load: Mapping[int, float]
+    driver_out_slew: Mapping[int, float]
+    edge_delay: Mapping[int, float]
+    edge_elmore: Mapping[int, float]
 
     def latency(self, sink: int) -> float:
         return self.arrival[sink]
@@ -74,19 +79,33 @@ class TimingResult:
 
 
 class GoldenTimer:
-    """Clock-tree STA across a library's corner set."""
+    """Clock-tree STA across a library's corner set.
+
+    ``wire_backend`` selects the execution engine, not the model:
+    ``"kernel"`` (default) compiles the tree into struct-of-arrays form and
+    propagates all corners at once (:mod:`repro.sta.kernel`);
+    ``"reference"`` runs the original scalar per-node, per-corner loop.
+    The two agree bit for bit; the reference path is kept for differential
+    testing and as the authoritative definition of the timing model.
+    """
 
     def __init__(
         self,
         library: Library,
         wire_metric: str = "d2m",
         segment_um: float = DEFAULT_SEGMENT_UM,
+        wire_backend: str = "kernel",
     ) -> None:
         if wire_metric not in ("d2m", "elmore"):
             raise ValueError("wire_metric must be 'd2m' or 'elmore'")
+        if wire_backend not in ("kernel", "reference"):
+            raise ValueError("wire_backend must be 'kernel' or 'reference'")
         self._library = library
         self._wire_metric = wire_metric
         self._segment_um = segment_um
+        self._wire_backend = wire_backend
+        self._kernel = None
+        self._kernel_unsupported = False
 
     @property
     def library(self) -> Library:
@@ -100,8 +119,51 @@ class GoldenTimer:
     def segment_um(self) -> float:
         return self._segment_um
 
+    @property
+    def wire_backend(self) -> str:
+        return self._wire_backend
+
+    def _try_kernel(self):
+        """The shared :class:`~repro.sta.kernel.TimingKernel`, or ``None``.
+
+        Returns ``None`` when the reference backend was requested or the
+        library cannot be batched (non-uniform NLDM grids); the caller
+        then runs the scalar path.
+        """
+        if self._wire_backend != "kernel" or self._kernel_unsupported:
+            return None
+        if self._kernel is None:
+            from repro.sta.kernel import KernelUnsupported, TimingKernel
+
+            try:
+                self._kernel = TimingKernel(
+                    self._library, self._wire_metric, self._segment_um
+                )
+            except KernelUnsupported:
+                self._kernel_unsupported = True
+                return None
+        return self._kernel
+
     def analyze_corner(self, tree: ClockTree, corner: Corner) -> CornerTiming:
         """Propagate arrivals and slews through ``tree`` at one corner."""
+        kernel = self._try_kernel()
+        if kernel is not None:
+            from repro.sta.kernel import KernelUnsupported
+
+            try:
+                compiled = kernel.compile(tree, corners=[corner])
+            except KernelUnsupported:
+                pass
+            else:
+                return compiled.corner_timing(
+                    compiled.propagate(), corner.name
+                )
+        return self._analyze_corner_reference(tree, corner)
+
+    def _analyze_corner_reference(
+        self, tree: ClockTree, corner: Corner
+    ) -> CornerTiming:
+        """Scalar single-corner propagation (the authoritative model)."""
         lib = self._library
         wire = lib.wire(corner)
         arrival: Dict[int, float] = {tree.root: 0.0}
@@ -189,9 +251,25 @@ class GoldenTimer:
         The shared primitive behind :meth:`latencies` and
         :meth:`time_tree`, so callers that need both sink latencies and
         the per-corner artifacts run the per-corner analysis exactly once.
+        With the kernel backend, all corners propagate in one batched
+        pass and each :class:`CornerTiming` is a view over its slice.
         """
+        kernel = self._try_kernel()
+        if kernel is not None:
+            from repro.sta.kernel import KernelUnsupported
+
+            try:
+                compiled = kernel.compile(tree)
+            except KernelUnsupported:
+                pass
+            else:
+                state = compiled.propagate()
+                return {
+                    corner.name: compiled.corner_timing(state, corner.name)
+                    for corner in self._library.corners
+                }
         return {
-            corner.name: self.analyze_corner(tree, corner)
+            corner.name: self._analyze_corner_reference(tree, corner)
             for corner in self._library.corners
         }
 

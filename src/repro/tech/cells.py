@@ -50,6 +50,21 @@ class NLDMTable:
         object.__setattr__(self, "_loads", loads)
         object.__setattr__(self, "_vals", vals)
 
+    @property
+    def slew_grid(self) -> np.ndarray:
+        """The slew axis as a float64 array (read-only; cached at init)."""
+        return self._slews
+
+    @property
+    def load_grid(self) -> np.ndarray:
+        """The load axis as a float64 array (read-only; cached at init)."""
+        return self._loads
+
+    @property
+    def value_grid(self) -> np.ndarray:
+        """The value surface as a ``(slews, loads)`` float64 array."""
+        return self._vals
+
     def lookup(self, slew_ps: float, load_ff: float) -> float:
         """Bilinearly interpolated table value at (slew, load), clamped."""
         slews = self._slews

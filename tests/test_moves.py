@@ -5,6 +5,7 @@ import pytest
 from repro.core.moves import (
     Move,
     MoveType,
+    SurgeryIndex,
     apply_move,
     apply_move_undoable,
     enumerate_moves,
@@ -221,3 +222,49 @@ class TestUndo:
         # that is what lets the incremental timer detect "same object,
         # touched since" and require an explicit rebase.
         assert t.revision > rev1
+
+
+class TestSurgeryIndex:
+    @staticmethod
+    def _spread_tree(n_leaves=40, seed=11):
+        """Wide two-level tree with buffers scattered over ~6x6 cells."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        t = ClockTree()
+        src = t.add_source(Point(0, 0))
+        tops = [
+            t.add_buffer(
+                src, Point(float(x), float(y)), 16
+            )
+            for x, y in rng.uniform(0.0, 300.0, size=(6, 2))
+        ]
+        for x, y in rng.uniform(0.0, 300.0, size=(n_leaves, 2)):
+            top = tops[int(rng.integers(len(tops)))]
+            leaf = t.add_buffer(top, Point(float(x), float(y)), 8)
+            t.add_sink(leaf, Point(float(x) + 5.0, float(y)))
+        return t
+
+    def test_indexed_candidates_match_full_scan(self):
+        t = self._spread_tree()
+        for window in (30.0, 50.0, 120.0):
+            index = SurgeryIndex(t, cell_um=window)
+            for nid in t.buffers():
+                assert surgery_candidates(
+                    t, nid, window_um=window, index=index
+                ) == surgery_candidates(t, nid, window_um=window)
+
+    def test_near_is_superset_of_window(self):
+        t = self._spread_tree(seed=7)
+        index = SurgeryIndex(t, cell_um=50.0)
+        center = Point(150.0, 150.0)
+        got = set(index.near(center, 25.0))
+        for nid in t.buffers():
+            loc = t.node(nid).location
+            if abs(loc.x - center.x) <= 25.0 and abs(loc.y - center.y) <= 25.0:
+                assert nid in got
+
+    def test_rejects_degenerate_cell(self):
+        t = self._spread_tree(n_leaves=2)
+        with pytest.raises(ValueError):
+            SurgeryIndex(t, cell_um=0.0)
