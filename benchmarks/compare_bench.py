@@ -32,6 +32,7 @@ TRACKED = {
     "BENCH_localopt_smoke.json": ("speedup",),
     "BENCH_parallel_smoke.json": (),
     "BENCH_kernel_smoke.json": ("speedup",),
+    "BENCH_eco_smoke.json": ("speedup",),
 }
 
 #: file name -> boolean flags that must not regress to false.
@@ -39,6 +40,7 @@ FLAGS = {
     "BENCH_localopt_smoke.json": ("trajectory_identical",),
     "BENCH_parallel_smoke.json": ("trajectory_identical",),
     "BENCH_kernel_smoke.json": ("kernel_identical",),
+    "BENCH_eco_smoke.json": ("kernel_identical",),
 }
 
 

@@ -1,0 +1,156 @@
+"""Bench: vectorized ECO candidate kernel vs the scalar reference scan.
+
+The kernel compiles each corner's stage LUT into dense planes once per
+library, enumerates the full (size, wirelength, count) candidate grid as
+arrays, and resolves each arc with one masked argmin; the reference path
+scans candidates one scalar estimate at a time.  Both are the *same*
+search — the kernel's contract is identical chosen candidates and
+estimate agreement to <= 1e-9 ps (bit-identical trees in practice) — so
+this bench measures pure candidate-evaluation speedup.
+
+Writes ``results/BENCH_eco.json`` with one-shot LP-plan realization
+times for both backends plus a warm re-realization time (sweep-level
+table cache), and asserts the tentpole target: **>= 5x** on CLS1v1.
+A MINI smoke variant (``-k smoke``) runs in seconds for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from _util import RESULTS_DIR, emit
+
+from repro.core.eco_flow import ECOConfig, LPGuidedECO
+from repro.core.lp import GlobalSkewLP, build_model_data
+from repro.core.objective import SkewVariationProblem
+from repro.netlist.serialize import tree_to_dict
+from repro.tech.ratio_bounds import fit_all_ratio_bounds
+from repro.tech.stage_lut import characterize_stage_luts, clear_hop_cache
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.mini import build_mini
+
+#: Estimate agreement bound between the two backends (ps).
+TOL_PS = 1e-9
+
+
+def _plan(design):
+    """One LP plan (Eq. 4 at a relaxed bound) shared by both backends."""
+    problem = SkewVariationProblem.create(design)
+    luts = characterize_stage_luts(design.library)
+    data = build_model_data(
+        design.tree, problem.timer, design.pairs, problem.alphas, luts
+    )
+    lp = GlobalSkewLP(data, fit_all_ratio_bounds(design.library))
+    solution = lp.minimize_changes(
+        lp.minimize_variation().achieved_variation_bound * 1.1
+    )
+    timings = {
+        c.name: problem.timer.analyze_corner(design.tree, c)
+        for c in design.library.corners
+    }
+    return luts, data, solution, timings
+
+
+def _realize_once(design, luts, data, solution, timings, backend):
+    clear_hop_cache()
+    eco = LPGuidedECO(
+        design.library, luts, design.legalizer, config=ECOConfig(backend=backend)
+    )
+    trial = design.tree.clone()
+    t0 = time.perf_counter()
+    report = eco.realize(trial, data, solution, timings)
+    elapsed = time.perf_counter() - t0
+    return elapsed, eco, trial, report
+
+
+def _parity(ref_report, ker_report, ref_tree, ker_tree):
+    same_choices = [
+        (r.arc_index, r.size, r.pair_count, r.spacing_um) for r in ref_report
+    ] == [(r.arc_index, r.size, r.pair_count, r.spacing_um) for r in ker_report]
+    max_err = 0.0
+    for a, b in zip(ref_report, ker_report):
+        diff = np.abs(np.subtract(a.estimates_ps, b.estimates_ps))
+        max_err = max(max_err, float(diff.max()))
+    same_tree = json.dumps(tree_to_dict(ref_tree), sort_keys=True) == json.dumps(
+        tree_to_dict(ker_tree), sort_keys=True
+    )
+    return same_choices, max_err, same_tree
+
+
+def _run_comparison(design):
+    luts, data, solution, timings = _plan(design)
+
+    ref_s, _ref_eco, ref_tree, ref_report = _realize_once(
+        design, luts, data, solution, timings, "reference"
+    )
+    ker_s, ker_eco, ker_tree, ker_report = _realize_once(
+        design, luts, data, solution, timings, "kernel"
+    )
+    # Warm pass: same eco instance, so every candidate table cache-hits.
+    trial = design.tree.clone()
+    t0 = time.perf_counter()
+    ker_eco.realize(trial, data, solution, timings)
+    warm_s = time.perf_counter() - t0
+
+    same_choices, max_err, same_tree = _parity(
+        ref_report, ker_report, ref_tree, ker_tree
+    )
+    counters = ker_eco.stats["counters"]
+    compile_s = ker_eco.stats["timers"]["seconds"].get("compile", 0.0)
+    return {
+        "design": design.name,
+        "corners": [c.name for c in design.library.corners],
+        "arcs_realized": len(ker_report),
+        "candidates_evaluated": counters["candidates_evaluated"],
+        "tables_built": counters["tables_built"],
+        "table_hits": counters["table_hits"],
+        "max_est_err_ps": max_err,
+        "kernel_identical": same_choices and same_tree and max_err <= TOL_PS,
+        "reference_ms": round(1000.0 * ref_s, 3),
+        "kernel_ms": round(1000.0 * ker_s, 3),
+        "kernel_warm_ms": round(1000.0 * warm_s, 3),
+        "kernel_compile_ms": round(1000.0 * compile_s, 3),
+        "speedup": round(ref_s / ker_s, 2),
+        "warm_speedup": round(ref_s / warm_s, 2),
+    }
+
+
+def _report(tag, record):
+    lines = [
+        f"BENCH eco ({record['design']}): one-shot LP-plan realization, "
+        f"{record['arcs_realized']} arcs, "
+        f"{record['candidates_evaluated']} candidates",
+        f"  reference   : {record['reference_ms']:9.3f} ms",
+        f"  kernel      : {record['kernel_ms']:9.3f} ms "
+        f"(compile {record['kernel_compile_ms']:.3f} ms)",
+        f"  kernel warm : {record['kernel_warm_ms']:9.3f} ms "
+        f"({record['table_hits']} table hits)",
+        f"  speedup     : {record['speedup']:.2f}x cold, "
+        f"{record['warm_speedup']:.2f}x warm",
+        f"  max |d| = {record['max_est_err_ps']:.3e} ps",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def test_bench_eco_cls1():
+    """Tentpole acceptance: >= 5x one-shot realization on CLS1v1."""
+    record = _run_comparison(build_cls1(1))
+    _report("BENCH_eco", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_eco.json").write_text(json.dumps(record, indent=2) + "\n")
+    assert record["kernel_identical"], record
+    assert record["speedup"] >= 5.0, record
+
+
+def test_bench_eco_smoke():
+    """MINI-scale smoke (CI): identity plus a modest speedup floor."""
+    record = _run_comparison(build_mini())
+    _report("BENCH_eco_smoke", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_eco_smoke.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+    assert record["kernel_identical"], record
+    assert record["speedup"] >= 2.0, record

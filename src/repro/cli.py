@@ -121,9 +121,13 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             )
             predictor = train_predictor(design.library, samples, args.predictor)
 
+    from repro.core.eco_flow import ECOConfig
+
     config = FrameworkConfig(
         global_config=GlobalOptConfig(
-            sweep_factors=(1.0, 1.15), workers=args.workers
+            sweep_factors=(1.0, 1.15),
+            workers=args.workers,
+            eco=ECOConfig(backend=args.eco_backend),
         ),
         local_config=LocalOptConfig(
             max_iterations=args.local_iterations,
@@ -136,6 +140,18 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         problem, predictor, TechnologyCache(design.library), config
     ).run(args.flow)
     print(f"{args.flow} flow finished in {time.time() - t0:.0f}s")
+
+    if result.global_result is not None:
+        eco_stats = result.global_result.stats.get("eco", {})
+        counters = eco_stats.get("counters", {})
+        if counters:
+            print(
+                f"eco backend={eco_stats.get('backend')}: "
+                f"{counters.get('candidates_evaluated', 0)} candidates in "
+                f"{counters.get('tables_built', 0)} tables "
+                f"({counters.get('table_hits', 0)} cache hits, "
+                f"{counters.get('selects', 0)} selects)"
+            )
 
     if args.trajectory_out and result.local_result is not None:
         with open(args.trajectory_out, "w") as handle:
@@ -348,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="kernel",
         choices=("kernel", "reference"),
         help="timing execution engine (bit-identical; reference is the scalar path)",
+    )
+    p_opt.add_argument(
+        "--eco-backend",
+        default="kernel",
+        choices=("kernel", "reference"),
+        help="ECO candidate-search engine (bit-identical; reference is the scalar scan)",
     )
     p_opt.add_argument("--out", default=None)
 

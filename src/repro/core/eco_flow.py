@@ -35,17 +35,23 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.lp import LPModelData, LPSolution
+from repro.eco.candidate_kernel import ECOCandidateKernel, ECOKernelUnsupported
 from repro.eco.legalize import Legalizer
 from repro.eco.operators import ArcRebuildResult, rebuild_arc
 from repro.geometry import BBox
 from repro.netlist.arcs import Arc
 from repro.netlist.tree import ClockTree
+from repro.route.congestion import chain_length_factor
 from repro.sta.gate import inverter_pair_timing
 from repro.sta.incremental import IncrementalTimer
+from repro.sta.signoff import signoff_gate_factor
 from repro.sta.slew import wire_degraded_slew
 from repro.sta.timer import CornerTiming
 from repro.tech.library import Library
 from repro.tech.stage_lut import StageDelayLUT, hop_wire_delay
+
+#: Recognized ECO candidate-search backends.
+ECO_BACKENDS = ("kernel", "reference")
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,16 @@ class ECOConfig:
     wire_extension_steps: Tuple[float, ...] = tuple(
         float(x) for x in range(0, 301, 15)
     )
+    #: Candidate-search backend: "kernel" (vectorized, bit-identical) or
+    #: "reference" (the scalar triple loop).  The kernel backend falls
+    #: back to reference when the LUTs cannot be compiled into planes.
+    backend: str = "kernel"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ECO_BACKENDS:
+            raise ValueError(
+                f"unknown eco backend {self.backend!r}; expected one of {ECO_BACKENDS}"
+            )
 
 
 @dataclass(frozen=True)
@@ -86,6 +102,7 @@ class LPGuidedECO:
         region: Optional[BBox] = None,
         config: ECOConfig = ECOConfig(),
         incremental: Optional[IncrementalTimer] = None,
+        candidate_kernel: Optional[ECOCandidateKernel] = None,
     ) -> None:
         self._library = library
         self._luts = stage_luts
@@ -93,6 +110,44 @@ class LPGuidedECO:
         self._region = region or legalizer.region
         self._config = config
         self._incremental = incremental
+        # Hoisted once per instance: the reference path used to rebuild
+        # these per candidate (corner name list, nominal index lookup,
+        # per-size pin caps).
+        self._corners = list(library.corners)
+        self._corner_names = [c.name for c in self._corners]
+        self._pin_caps = {s: library.input_cap_ff(s) for s in library.sizes}
+        self._kernel = candidate_kernel
+        self._kernel_failed = False
+        self._backend_active = "reference"
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Backend identity plus kernel counters/timers (when active)."""
+        payload: Dict[str, object] = {"backend": self._backend_active}
+        if self._kernel is not None:
+            payload.update(self._kernel.stats())
+        return payload
+
+    @property
+    def candidate_kernel(self) -> Optional[ECOCandidateKernel]:
+        """The kernel in use (None on the reference path/fallback)."""
+        return self._kernel
+
+    def _ensure_kernel(self) -> Optional[ECOCandidateKernel]:
+        """Build (or reuse) the candidate kernel; None means reference path."""
+        if self._config.backend != "kernel" or self._kernel_failed:
+            return None
+        if self._kernel is None:
+            try:
+                self._kernel = ECOCandidateKernel(
+                    self._library, self._luts, self._config
+                )
+            except ECOKernelUnsupported:
+                self._kernel_failed = True
+                self._backend_active = "reference-fallback"
+                return None
+        self._backend_active = "kernel"
+        return self._kernel
 
     # ------------------------------------------------------------------
     def realize(
@@ -122,6 +177,7 @@ class LPGuidedECO:
             timings = self._incremental.corner_timings(tree)
         if arc_indices is None:
             arc_indices = solution.nonzero_arcs(self._config.delta_threshold_ps)
+        kernel = self._ensure_kernel()
         report: List[ArcECO] = []
         for j in arc_indices:
             arc = data.arcs[j]
@@ -130,10 +186,10 @@ class LPGuidedECO:
                 [
                     timings[c.name].arrival[arc.end]
                     - timings[c.name].arrival[arc.start]
-                    for c in self._library.corners
+                    for c in self._corners
                 ]
             )
-            eco = self._realize_arc(tree, arc, j, targets, current, timings)
+            eco = self._realize_arc(tree, arc, j, targets, current, timings, kernel)
             if eco is not None:
                 report.append(eco)
         tree.validate()
@@ -158,6 +214,7 @@ class LPGuidedECO:
         targets: np.ndarray,
         current_delays: np.ndarray,
         baseline: Mapping[str, CornerTiming],
+        kernel: Optional[ECOCandidateKernel] = None,
     ) -> Optional[ArcECO]:
         """Search (size, spacing, count) and rebuild one arc.
 
@@ -165,16 +222,18 @@ class LPGuidedECO:
         if no rebuild matches the LP targets better than leaving the arc
         alone, nothing is touched.  Keeping a known-good arc always beats
         realizing a config that would land farther from the plan.
+
+        With ``kernel`` set, the whole candidate scan below collapses to
+        one cached table lookup plus a masked argmin; the scalar loops
+        here remain the reference semantics it must reproduce bit-exactly.
         """
         cfg = self._config
         lib = self._library
-        corner_names = [c.name for c in lib.corners]
+        corner_names = self._corner_names
         nominal = corner_names[0]
 
         keep_err = self._error(
-            {n: float(current_delays[k]) for k, n in enumerate(corner_names)},
-            targets,
-            corner_names,
+            [float(current_delays[k]) for k in range(len(corner_names))], targets
         )
 
         start_loc = tree.node(arc.start).location
@@ -187,55 +246,17 @@ class LPGuidedECO:
         # can be formed as (baseline load - old contribution + new hop).
         ctx = self._arc_context(tree, arc, baseline)
 
-        lut0 = self._luts[nominal]
-        wl_axis = lut0.wl_axis[:: max(1, cfg.wl_stride)]
-        wl_max = lut0.wl_axis[-1]
-        target0 = float(targets[corner_names.index(nominal)])
-        min_count_geo = max(0, int(math.ceil(direct / wl_max)) - 1)
-
-        best_err = math.inf
-        best: Optional[Tuple[int, float, int]] = None
-        best_est: Dict[str, float] = {}
-
-        # Wire-only candidates: sweep total route length.
-        for extension in cfg.wire_extension_steps:
-            length = direct + extension
-            est = self._estimate(tree, arc, 0, length, 0, end_cap, ctx)
-            err = self._error(est, targets, corner_names)
-            if err < best_err:
-                best_err = err
-                best = (lib.sizes[0], length, 0)
-                best_est = est
-
-        # Buffered candidates: the paper's (size, wirelength, count) scan.
-        for size in lib.sizes:
-            for wl in wl_axis:
-                stage0 = lut0.uniform[(size, lut0.snap_wl(wl))]
-                if stage0 <= 0:
-                    continue
-                chain_budget = target0 - ctx["driver_floor"][nominal]
-                u_est = int(round(chain_budget / stage0))
-                lo = max(0, u_est - cfg.count_window, min_count_geo)
-                hi = min(
-                    max(u_est + cfg.count_window, min_count_geo + cfg.count_window),
-                    cfg.max_pair_count,
-                )
-                for count in range(max(lo, 1), hi + 1):
-                    spacing = max(wl, direct / (count + 1))
-                    if spacing > wl_max:
-                        continue
-                    est = self._estimate(
-                        tree, arc, size, spacing, count, end_cap, ctx
-                    )
-                    err = self._error(est, targets, corner_names)
-                    if err < best_err:
-                        best_err = err
-                        best = (size, spacing, count)
-                        best_est = est
-
-        if best is None or best_err >= keep_err:
-            return None
-        size, spacing, count = best
+        if kernel is not None:
+            table = kernel.table(direct, end_cap, ctx)
+            choice = kernel.select(table, targets, keep_err)
+            if choice is None:
+                return None
+            size, spacing, count, best_err, best_est = choice
+        else:
+            found = self._scan_candidates(direct, end_cap, ctx, targets, keep_err)
+            if found is None:
+                return None
+            size, spacing, count, best_err, best_est = found
         realized = rebuild_arc(
             tree,
             self._legalizer,
@@ -255,9 +276,72 @@ class LPGuidedECO:
             spacing_um=spacing,
             estimate_error_ps=best_err,
             targets_ps=tuple(float(t) for t in targets),
-            estimates_ps=tuple(best_est[n] for n in corner_names),
+            estimates_ps=tuple(best_est),
             realized=realized,
         )
+
+    def _scan_candidates(
+        self,
+        direct: float,
+        end_cap: float,
+        ctx: Mapping[str, Mapping[str, float]],
+        targets: np.ndarray,
+        keep_err: float,
+    ) -> Optional[Tuple[int, float, int, float, List[float]]]:
+        """Reference scalar candidate scan (the kernel's golden semantics)."""
+        cfg = self._config
+        lib = self._library
+        nominal = self._corner_names[0]
+        prep = self._prepare_estimate(ctx)
+
+        lut0 = self._luts[nominal]
+        wl_axis = lut0.wl_axis[:: max(1, cfg.wl_stride)]
+        wl_max = lut0.wl_axis[-1]
+        target0 = float(targets[0])
+        min_count_geo = max(0, int(math.ceil(direct / wl_max)) - 1)
+
+        best_err = math.inf
+        best: Optional[Tuple[int, float, int]] = None
+        best_est: List[float] = []
+
+        # Wire-only candidates: sweep total route length.
+        for extension in cfg.wire_extension_steps:
+            length = direct + extension
+            est = self._estimate(0, length, 0, end_cap, prep)
+            err = self._error(est, targets)
+            if err < best_err:
+                best_err = err
+                best = (lib.sizes[0], length, 0)
+                best_est = est
+
+        # Buffered candidates: the paper's (size, wirelength, count) scan.
+        chain_budget = target0 - ctx["driver_floor"][nominal]
+        for size in lib.sizes:
+            for wl in wl_axis:
+                stage0 = lut0.uniform[(size, lut0.snap_wl(wl))]
+                if stage0 <= 0:
+                    continue
+                u_est = int(round(chain_budget / stage0))
+                lo = max(0, u_est - cfg.count_window, min_count_geo)
+                hi = min(
+                    max(u_est + cfg.count_window, min_count_geo + cfg.count_window),
+                    cfg.max_pair_count,
+                )
+                for count in range(max(lo, 1), hi + 1):
+                    spacing = max(wl, direct / (count + 1))
+                    if spacing > wl_max:
+                        continue
+                    est = self._estimate(size, spacing, count, end_cap, prep)
+                    err = self._error(est, targets)
+                    if err < best_err:
+                        best_err = err
+                        best = (size, spacing, count)
+                        best_est = est
+
+        if best is None or best_err >= keep_err:
+            return None
+        size, spacing, count = best
+        return size, spacing, count, best_err, best_est
 
     # ------------------------------------------------------------------
     def _arc_context(
@@ -273,8 +357,7 @@ class LPGuidedECO:
         old_first_pin = self._pin_cap(tree, first_child)
         start_size = self._start_cell_size(tree, arc.start)
 
-        from repro.geometry import BBox
-        from repro.route.congestion import chain_length_factor, routed_length_factor
+        from repro.route.congestion import routed_length_factor
 
         # The start anchor's net edges carry the router factor of *that*
         # net (fanout- and congestion-dependent), not the chain factor.
@@ -311,62 +394,72 @@ class LPGuidedECO:
             "start_factor": {"value": start_factor},
         }
 
-    def _estimate(
-        self,
-        tree: ClockTree,
-        arc: Arc,
-        size: int,
-        spacing: float,
-        count: int,
-        end_cap: float,
-        ctx: Mapping[str, Mapping[str, float]],
-    ) -> Dict[str, float]:
-        """LUT-based multi-corner delay estimate for one candidate.
+    def _prepare_estimate(
+        self, ctx: Mapping[str, Mapping[str, float]]
+    ) -> Tuple[int, float, float, List[Tuple]]:
+        """Hoist per-arc invariants out of the per-candidate estimate loop.
 
-        ``spacing`` is the hop length between consecutive pairs for
-        ``count >= 1``, or the total route length for ``count == 0``.
+        The per-candidate work used to re-fetch the wire model, start
+        cell, slews, and base loads for every corner of every candidate;
+        they only change per arc.
         """
-        from repro.route.congestion import chain_length_factor
-
         lib = self._library
         start_size = int(ctx["start_size"]["value"])
         routed = ctx["start_factor"]["value"]
         # hop_wire_delay bakes in the chain factor; the first hop belongs
         # to the start anchor's net, so rescale its length accordingly.
         hop0_len_scale = routed / chain_length_factor()
-        estimates: Dict[str, float] = {}
-        for corner in lib.corners:
+        per_corner = []
+        for corner in self._corners:
             name = corner.name
-            wire = lib.wire(corner)
-            cell_start = lib.cell(start_size, corner)
-            first_pin = lib.input_cap_ff(size) if count >= 1 else end_cap
-            first_len = spacing
-            new_load = (
-                ctx["load_base"][name]
-                - ctx["old_contrib"][name]
-                + wire.segment_cap(first_len * routed)
-                + first_pin
+            per_corner.append(
+                (
+                    corner,
+                    lib.wire(corner),
+                    lib.cell(start_size, corner),
+                    ctx["in_slew"][name],
+                    ctx["load_base"][name] - ctx["old_contrib"][name],
+                    self._luts[name],
+                )
             )
-            pair = inverter_pair_timing(
-                cell_start, ctx["in_slew"][name], max(new_load, 0.0)
-            )
-            # Match the golden engine's signoff gate-delay correction.
-            from repro.sta.signoff import signoff_gate_factor
+        return start_size, routed, hop0_len_scale, per_corner
 
+    def _estimate(
+        self,
+        size: int,
+        spacing: float,
+        count: int,
+        end_cap: float,
+        prep: Tuple[int, float, float, List[Tuple]],
+    ) -> List[float]:
+        """LUT-based multi-corner delay estimate for one candidate.
+
+        ``spacing`` is the hop length between consecutive pairs for
+        ``count >= 1``, or the total route length for ``count == 0``.
+        Returns one estimate per corner, in library corner order.
+        """
+        lib = self._library
+        start_size, routed, hop0_len_scale, per_corner = prep
+        pin = self._pin_caps[size] if count >= 1 else end_cap
+        first_pin = pin
+        first_len = spacing
+        estimates: List[float] = []
+        for corner, wire, cell_start, in_slew, base_load, lut in per_corner:
+            new_load = (base_load + wire.segment_cap(first_len * routed)) + first_pin
+            pair = inverter_pair_timing(cell_start, in_slew, max(new_load, 0.0))
+            # Match the golden engine's signoff gate-delay correction.
             total = pair.delay_ps * signoff_gate_factor(
-                start_size, ctx["in_slew"][name], max(new_load, 0.0)
+                start_size, in_slew, max(new_load, 0.0)
             )
             hop0, elmore0 = hop_wire_delay(
                 lib, corner, first_len * hop0_len_scale, first_pin
             )
             total += hop0
             if count == 0:
-                estimates[name] = total
+                estimates.append(total)
                 continue
             slew1 = wire_degraded_slew(pair.output_slew_ps, elmore0)
-            lut = self._luts[name]
             wl_snap = lut.snap_wl(spacing)
-            pin = lib.input_cap_ff(size)
             if count == 1:
                 total += lut.detail_delay(size, wl_snap, slew1, end_cap)
             else:
@@ -374,22 +467,24 @@ class LPGuidedECO:
                 total += lut.uniform[(size, wl_snap)] * (count - 2)
                 steady_slew = lut.uniform_slew[(size, wl_snap)]
                 total += lut.detail_delay(size, wl_snap, steady_slew, end_cap)
-            estimates[name] = total
+            estimates.append(total)
         return estimates
 
     @staticmethod
-    def _error(
-        estimates: Mapping[str, float],
-        targets: np.ndarray,
-        corner_names: Sequence[str],
-    ) -> float:
-        """Algorithm 1 Lines 8-13: per-corner + cross-corner error."""
+    def _error(estimates: Sequence[float], targets: np.ndarray) -> float:
+        """Algorithm 1 Lines 8-13: per-corner + cross-corner error.
+
+        ``estimates`` is ordered by library corner (index 0 nominal), so
+        no name indirection is needed; the kernel replicates this exact
+        term-by-term accumulation order as vector adds.
+        """
         err = 0.0
-        for k, name in enumerate(corner_names):
-            err += abs(estimates[name] - float(targets[k]))
-        for k in range(len(corner_names)):
-            for k2 in range(k + 1, len(corner_names)):
-                est_diff = estimates[corner_names[k]] - estimates[corner_names[k2]]
+        n = len(estimates)
+        for k in range(n):
+            err += abs(estimates[k] - float(targets[k]))
+        for k in range(n):
+            for k2 in range(k + 1, n):
+                est_diff = estimates[k] - estimates[k2]
                 tgt_diff = float(targets[k]) - float(targets[k2])
                 err += abs(est_diff - tgt_diff)
         return err

@@ -17,13 +17,13 @@ preserving Algorithm 1 as the per-arc realization engine.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.eco_flow import ECOConfig, LPGuidedECO
+from repro.core.instrument import diff_stats, merge_stats
 from repro.core.local_opt import LocalOptConfig, LocalOptimizer, LocalOptResult
 from repro.core.lp import (
     DEFAULT_BETA,
@@ -72,7 +72,13 @@ class GlobalOptConfig:
 
 @dataclass
 class GlobalOptResult:
-    """Outcome of the global flow."""
+    """Outcome of the global flow.
+
+    ``stats`` aggregates per-phase instrumentation across every sweep
+    point and iteration (currently the ECO candidate-search backend's
+    counters and timers under ``"eco"``), mirroring the
+    ``LocalOptResult.stats`` pattern.
+    """
 
     tree: ClockTree
     initial_objective_ps: float
@@ -81,6 +87,7 @@ class GlobalOptResult:
     arcs_realized: int
     batches_committed: int
     batches_reverted: int
+    stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_reduction_ps(self) -> float:
@@ -145,6 +152,10 @@ class RealizationContext:
     batch_size: int
     improvement_eps_ps: float
     engine: object
+    #: Lazily-built ECO candidate kernel, kept here so its compiled LUT
+    #: planes and sweep-level table cache survive across sweep points,
+    #: verification batches, and outer iterations.
+    eco_kernel: object = None
 
     @staticmethod
     def from_problem(
@@ -180,7 +191,7 @@ def realize_verified_plan(
     data,
     solution: LPSolution,
     allow_batches: bool = True,
-) -> Tuple[ClockTree, TimingResult, Tuple[int, int, int]]:
+) -> Tuple[ClockTree, TimingResult, Tuple[int, int, int], Dict[str, object]]:
     """Realize one LP plan with golden verification.
 
     The plan's arc changes are *coordinated* — launch and capture paths
@@ -188,6 +199,9 @@ def realize_verified_plan(
     one-shot realization regresses (or degrades local skew) does the
     flow fall back to committing benefit-sorted batches with per-batch
     verification, which salvages the separable part of the plan.
+
+    The fourth return element is the ECO backend's stats payload
+    (:attr:`LPGuidedECO.stats`) for this plan's realizations.
     """
     eco = LPGuidedECO(
         ctx.library,
@@ -196,7 +210,17 @@ def realize_verified_plan(
         region=ctx.region,
         config=ctx.eco_config,
         incremental=ctx.engine,
+        candidate_kernel=ctx.eco_kernel,
     )
+    stats_before = eco.stats
+
+    def finish(tree, result, counts):
+        # Keep the (possibly just-built) kernel for the next sweep point
+        # so its candidate-table cache carries across the U sweep, and
+        # report this call's stats as a delta (the shared kernel's
+        # counters are cumulative).
+        ctx.eco_kernel = eco.candidate_kernel
+        return tree, result, counts, diff_stats(eco.stats, stats_before)
 
     current = base_tree.clone()
     current_result = ctx.evaluate(current)
@@ -215,10 +239,10 @@ def realize_verified_plan(
             ctx.baseline_skews, tol_ps=0.5
         )
         if improved and not degraded:
-            return full_trial, full_result, (len(full_report), 1, 0)
+            return finish(full_trial, full_result, (len(full_report), 1, 0))
 
     if not allow_batches:
-        return current, current_result, (0, 0, 1)
+        return finish(current, current_result, (0, 0, 1))
 
     # Fallback: benefit-sorted batches, largest requested |delta|
     # first, each golden-verified and reverted on regression.
@@ -249,7 +273,7 @@ def realize_verified_plan(
             committed += 1
         else:
             reverted += 1
-    return current, current_result, (arcs_done, committed, reverted)
+    return finish(current, current_result, (arcs_done, committed, reverted))
 
 
 class GlobalOptimizer:
@@ -295,6 +319,7 @@ class GlobalOptimizer:
         total_committed = 0
         total_reverted = 0
         last_bound = 0.0
+        eco_stats: Dict[str, object] = {}
 
         for iteration in range(cfg.max_iterations):
             data = build_model_data(
@@ -324,9 +349,12 @@ class GlobalOptimizer:
             best_tree = None
             best_result = current_result
             best_stats = (0.0, 0, 0, 0)
-            for (bound, _solution), (tree_u, result_u, stats) in zip(
+            for (bound, _solution), (tree_u, result_u, stats, point_eco) in zip(
                 solutions, realized
             ):
+                # Every sweep point did its candidate-search work whether
+                # or not it wins the fold; account for all of it.
+                merge_stats(eco_stats, point_eco)
                 if (
                     result_u.total_variation
                     < best_result.total_variation - cfg.improvement_eps_ps
@@ -352,6 +380,7 @@ class GlobalOptimizer:
             arcs_realized=total_arcs,
             batches_committed=total_committed,
             batches_reverted=total_reverted,
+            stats={"eco": eco_stats},
         )
 
     # ------------------------------------------------------------------
@@ -363,7 +392,7 @@ class GlobalOptimizer:
         data,
         solutions: Sequence[Tuple[float, LPSolution]],
         allow_batches: bool,
-    ) -> List[Tuple[ClockTree, TimingResult, Tuple[int, int, int]]]:
+    ) -> List[Tuple[ClockTree, TimingResult, Tuple[int, int, int], Dict[str, object]]]:
         """Realize every sweep point, in parallel when a pool is present.
 
         Sweep points are independent (each starts from ``current``), so
@@ -396,7 +425,14 @@ class GlobalOptimizer:
                     continue
                 tree_u = tree_from_dict(result["tree"])
                 result_u = problem.evaluate(tree_u)
-                out.append((tree_u, result_u, tuple(result["stats"])))
+                out.append(
+                    (
+                        tree_u,
+                        result_u,
+                        tuple(result["stats"]),
+                        result.get("eco_stats", {}),
+                    )
+                )
             return out
         return [
             realize_verified_plan(ctx, current, data, solution, allow_batches)

@@ -15,7 +15,54 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def merge_stats(dst: Dict[str, object], src: Mapping[str, object]) -> Dict[str, object]:
+    """Recursively fold ``src`` into ``dst``: numbers add, dicts merge.
+
+    Non-numeric leaves (backend names, flags) take ``src``'s value.  Used
+    to aggregate per-phase stats payloads across sweep points, workers,
+    and iterations; returns ``dst`` for chaining.
+    """
+    for key, value in src.items():
+        if isinstance(value, Mapping):
+            node = dst.get(key)
+            if not isinstance(node, dict):
+                node = {}
+                dst[key] = node
+            merge_stats(node, value)
+        elif _is_number(value) and _is_number(dst.get(key)):
+            dst[key] = dst[key] + value
+        else:
+            dst[key] = value
+    return dst
+
+
+def diff_stats(
+    new: Mapping[str, object], old: Mapping[str, object]
+) -> Dict[str, object]:
+    """Recursive numeric difference ``new - old`` (missing old keys = 0).
+
+    Turns cumulative counters/timers into per-interval deltas, so stats
+    from a long-lived accumulator (e.g. the ECO kernel shared across a
+    sweep) can be attributed to one call and then re-merged without
+    double counting.  Non-numeric leaves keep ``new``'s value.
+    """
+    out: Dict[str, object] = {}
+    for key, value in new.items():
+        prev = old.get(key) if isinstance(old, Mapping) else None
+        if isinstance(value, Mapping):
+            out[key] = diff_stats(value, prev if isinstance(prev, Mapping) else {})
+        elif _is_number(value):
+            out[key] = value - prev if _is_number(prev) else value
+        else:
+            out[key] = value
+    return out
 
 
 class StageTimers:

@@ -1,0 +1,518 @@
+"""Array-backed LP-guided ECO candidate kernel (Algorithm 1, vectorized).
+
+The reference realization in :mod:`repro.core.eco_flow` scans every
+(gate size, inter-pair wirelength, pair count) candidate — plus the
+wire-only route-length sweep — with a scalar ``_estimate``/``_error``
+round trip per candidate.  That triple loop dominates every iteration of
+``sweep_upper_bound``.  This kernel compiles the same search into array
+form:
+
+* each corner's :class:`~repro.tech.stage_lut.StageDelayLUT` is compiled
+  once into dense numpy planes (:meth:`StageDelayLUT.planes`);
+* the full candidate grid is enumerated as flat arrays — wire-only
+  extensions first, then buffered candidates in size-major, wirelength,
+  count order, exactly the reference enumeration order;
+* per-corner delay estimates come from broadcast bilinear interpolation
+  over the compiled planes plus a vectorized steady-state-slew step;
+* the combined per-corner + cross-corner error (the paper's
+  Eq.-(12)-style blend) is one masked vector reduction with a single
+  ``argmin`` per arc.
+
+Bit-exactness contract: every float operation replicates the scalar
+reference sequence — same associativity, ``math``-backed tanh via a
+unique-value memo, hop wire delays gathered through the *same*
+:func:`hop_wire_delay` memo by unique quantized key, and error terms
+accumulated term-by-term (never ``np.sum``, whose pairwise order
+differs).  The selected (size, spacing, count) tuple therefore matches
+the reference argmin exactly and realized trees stay byte-identical.
+
+Sweep-level caching: a candidate estimate table depends only on the
+arc's geometry and anchor context — not on the LP targets — so across
+the U sweep only the error reduction re-runs.  Tables are memoized in a
+bounded LRU keyed by the arc signature (geometry + per-corner anchor
+facts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import islice
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.instrument import StageTimers
+from repro.route.congestion import chain_length_factor
+from repro.sta.signoff import (
+    LOAD_GAIN,
+    LOAD_SCALE_FF,
+    MAX_SIZE,
+    REFERENCE_SIZE,
+    SLEW_GAIN,
+    SLEW_SCALE_PS,
+)
+from repro.sta.slew import LN9
+from repro.tech.cells import NLDMTable
+from repro.tech.library import Library
+from repro.tech.stage_lut import StageDelayLUT, hop_wire_delay
+
+#: Cap on the tanh memo (same guard as the timing kernel's).
+_TANH_MEMO_LIMIT = 1 << 20
+
+#: Default bound on cached per-arc candidate tables.  Each table holds
+#: roughly (sizes x wirelengths x counts + wire-only) x corners doubles
+#: (~250 KB for the default config at three corners), so 256 tables keep
+#: the sweep cache under ~64 MB.
+DEFAULT_MAX_TABLES = 256
+
+
+class ECOKernelUnsupported(Exception):
+    """The stage LUTs cannot be compiled for the array kernel.
+
+    Raised at construction when the LUT planes cannot represent the
+    scalar lookup semantics (missing corners/sizes, detail grids that
+    disagree on axes, degenerate single-point axes).  The caller falls
+    back to the scalar reference path.
+    """
+
+
+@dataclass
+class ArcCandidateTable:
+    """Target-independent candidate estimates for one arc.
+
+    ``est`` is ``(candidates, corners)`` in reference enumeration order:
+    wire-only extensions first, then buffered candidates size-major over
+    the strided wirelength axis with counts ``1..max_pair_count``.  The
+    count-window mask (which *does* depend on the LP target) is applied
+    at selection time from ``stage0``/``min_count_geo``.
+    """
+
+    est: np.ndarray
+    spacing: np.ndarray
+    counts: np.ndarray
+    size_values: np.ndarray
+    n_wire: int
+    valid_static: np.ndarray
+    stage0: np.ndarray
+    min_count_geo: int
+    driver_floor0: float
+
+
+def _lookup_load_vec(
+    table: NLDMTable, slew_scalar: float, load_vec: np.ndarray
+) -> np.ndarray:
+    """NLDM bilinear lookup: scalar slew, vector load.
+
+    Replicates :meth:`NLDMTable.lookup` operation-for-operation (clamp,
+    right-searchsorted minus one, four-corner blend in the same
+    associativity) on the general two-axis branch.
+    """
+    sax = table.slew_grid
+    lax = table.load_grid
+    vals = table.value_grid
+    s = float(np.clip(slew_scalar, sax[0], sax[-1]))
+    si = int(np.searchsorted(sax, s, side="right") - 1)
+    si = min(max(si, 0), sax.size - 2)
+    u = (s - sax[si]) / (sax[si + 1] - sax[si])
+    c = np.clip(load_vec, lax[0], lax[-1])
+    ci = np.searchsorted(lax, c, side="right") - 1
+    ci = np.clip(ci, 0, lax.size - 2)
+    t = (c - lax[ci]) / (lax[ci + 1] - lax[ci])
+    v00 = vals[si, ci]
+    v01 = vals[si, ci + 1]
+    v10 = vals[si + 1, ci]
+    v11 = vals[si + 1, ci + 1]
+    return (
+        v00 * (1 - u) * (1 - t)
+        + v01 * (1 - u) * t
+        + v10 * u * (1 - t)
+        + v11 * u * t
+    )
+
+
+def _lookup_detail(
+    planes3: np.ndarray,
+    sax: np.ndarray,
+    lax: np.ndarray,
+    wl_idx: np.ndarray,
+    slew_vec: np.ndarray,
+    load_scalar: float,
+) -> np.ndarray:
+    """Detail-LUT bilinear lookup: per-candidate wl index and slew, scalar load.
+
+    ``planes3`` is one (corner, size) slice of the compiled detail plane,
+    shape ``(wl, slew_axis, load_axis)``.
+    """
+    s = np.clip(slew_vec, sax[0], sax[-1])
+    si = np.searchsorted(sax, s, side="right") - 1
+    si = np.clip(si, 0, sax.size - 2)
+    u = (s - sax[si]) / (sax[si + 1] - sax[si])
+    c = float(np.clip(load_scalar, lax[0], lax[-1]))
+    ci = int(np.searchsorted(lax, c, side="right") - 1)
+    ci = min(max(ci, 0), lax.size - 2)
+    t = (c - lax[ci]) / (lax[ci + 1] - lax[ci])
+    v00 = planes3[wl_idx, si, ci]
+    v01 = planes3[wl_idx, si, ci + 1]
+    v10 = planes3[wl_idx, si + 1, ci]
+    v11 = planes3[wl_idx, si + 1, ci + 1]
+    return (
+        v00 * (1 - u) * (1 - t)
+        + v01 * (1 - u) * t
+        + v10 * u * (1 - t)
+        + v11 * u * t
+    )
+
+
+class ECOCandidateKernel:
+    """Vectorized candidate search with sweep-level table caching.
+
+    One kernel serves one (library, stage LUTs, config) triple; the
+    framework keeps it on the realization context so its table cache
+    survives across sweep points and verification batches.
+    """
+
+    def __init__(
+        self,
+        library: Library,
+        stage_luts: Mapping[str, StageDelayLUT],
+        config,  # ECOConfig; untyped to avoid a circular import
+        max_tables: int = DEFAULT_MAX_TABLES,
+    ) -> None:
+        self._library = library
+        self._config = config
+        self._corners = list(library.corners)
+        try:
+            planes = [stage_luts[c.name].planes() for c in self._corners]
+        except (KeyError, ValueError) as exc:
+            raise ECOKernelUnsupported(str(exc)) from exc
+        if not planes:
+            raise ECOKernelUnsupported("library has no corners")
+        p0 = planes[0]
+        for p in planes[1:]:
+            if (
+                p.sizes != p0.sizes
+                or p.wl_axis != p0.wl_axis
+                or not np.array_equal(p.detail_slew_axis, p0.detail_slew_axis)
+                or not np.array_equal(p.detail_load_axis, p0.detail_load_axis)
+            ):
+                raise ECOKernelUnsupported("corner LUTs disagree on axes")
+        try:
+            # The reference search iterates library sizes; every one must
+            # be characterized or the scalar path would KeyError too.
+            self._size_rows = [p0.sizes.index(s) for s in library.sizes]
+        except ValueError as exc:
+            raise ECOKernelUnsupported("library size missing from LUTs") from exc
+        if not self._size_rows:
+            raise ECOKernelUnsupported("library has no drive sizes")
+        for corner in self._corners:
+            for size in library.sizes:
+                cell = library.cell(size, corner)
+                for table in (cell.delay_table, cell.slew_table):
+                    if table.slew_grid.size < 2 or table.load_grid.size < 2:
+                        raise ECOKernelUnsupported("degenerate NLDM axes")
+
+        self.timers = StageTimers()
+        self.counters: Dict[str, int] = {
+            "tables_built": 0,
+            "table_hits": 0,
+            "table_evictions": 0,
+            "candidates_evaluated": 0,
+            "selects": 0,
+            "arcs_chosen": 0,
+        }
+        with self.timers.stage("compile"):
+            self._uniform = np.stack([p.uniform for p in planes])
+            self._uniform_slew = np.stack([p.uniform_slew for p in planes])
+            self._detail = np.stack([p.detail for p in planes])
+            self._detail_slew = np.stack([p.detail_slew for p in planes])
+            self._det_sax = p0.detail_slew_axis
+            self._det_lax = p0.detail_load_axis
+            self._wl_full = np.asarray(p0.wl_axis)
+            stride = max(1, config.wl_stride)
+            self._wl_sel = np.arange(0, self._wl_full.size, stride)
+            self._wl_vals = self._wl_full[self._wl_sel]
+            self._sizes = tuple(library.sizes)
+            self._pin_caps = [library.input_cap_ff(s) for s in self._sizes]
+            self._counts = np.arange(1, config.max_pair_count + 1, dtype=np.int64)
+            self._ext = np.asarray(config.wire_extension_steps, dtype=float)
+        self._max_tables = max(2, max_tables)
+        self._tables: Dict[Tuple, ArcCandidateTable] = {}
+        self._tanh_memo: Dict[float, float] = {}
+
+    # -- public API ----------------------------------------------------
+    def table(
+        self,
+        direct: float,
+        end_cap: float,
+        ctx: Mapping[str, Mapping[str, float]],
+    ) -> ArcCandidateTable:
+        """Candidate estimate table for one arc (cached across the sweep)."""
+        key = self._context_key(direct, end_cap, ctx)
+        found = self._tables.get(key)
+        if found is not None:
+            self.counters["table_hits"] += 1
+            del self._tables[key]
+            self._tables[key] = found
+            return found
+        with self.timers.stage("table_build"):
+            built = self._build_table(direct, end_cap, ctx)
+        if len(self._tables) >= self._max_tables:
+            stale = list(islice(self._tables, self._max_tables // 2))
+            for old in stale:
+                del self._tables[old]
+            self.counters["table_evictions"] += len(stale)
+        self._tables[key] = built
+        self.counters["tables_built"] += 1
+        self.counters["candidates_evaluated"] += int(built.est.size)
+        return built
+
+    def select(
+        self,
+        table: ArcCandidateTable,
+        targets: np.ndarray,
+        keep_err: float,
+    ) -> Optional[Tuple[int, float, int, float, List[float]]]:
+        """Masked error reduction + argmin over one arc's candidates.
+
+        Returns ``(size, spacing, count, error, estimates)`` for the best
+        candidate that beats ``keep_err``, or ``None`` (keep the arc).
+        """
+        cfg = self._config
+        with self.timers.stage("select"):
+            est = table.est
+            n_corners = est.shape[1]
+            t = [float(targets[k]) for k in range(n_corners)]
+            # Accumulate error terms in the scalar reference order: one
+            # vector add per term, never np.sum (pairwise order differs).
+            err = np.abs(est[:, 0] - t[0])
+            for k in range(1, n_corners):
+                err = err + np.abs(est[:, k] - t[k])
+            for k in range(n_corners):
+                for k2 in range(k + 1, n_corners):
+                    err = err + np.abs((est[:, k] - est[:, k2]) - (t[k] - t[k2]))
+
+            # Count-window validity depends on the LP target; rebuild the
+            # mask per query from the cached stage0 plane.
+            budget = t[0] - table.driver_floor0
+            safe = table.stage0 > 0.0
+            ratio = np.where(safe, budget / np.where(safe, table.stage0, 1.0), 0.0)
+            u_est = np.rint(ratio).astype(np.int64)
+            lo = np.maximum(np.maximum(u_est - cfg.count_window, 0), table.min_count_geo)
+            hi = np.minimum(
+                np.maximum(u_est + cfg.count_window, table.min_count_geo + cfg.count_window),
+                cfg.max_pair_count,
+            )
+            lo = np.maximum(lo, 1)
+            cgrid = self._counts[None, None, :]
+            ok = (cgrid >= lo[:, :, None]) & (cgrid <= hi[:, :, None]) & safe[:, :, None]
+            valid = np.concatenate(
+                [np.ones(table.n_wire, dtype=bool), ok.reshape(-1)]
+            )
+            valid &= table.valid_static
+
+            err = np.where(np.isnan(err), np.inf, err)
+            err = np.where(valid, err, np.inf)
+            pos = int(np.argmin(err))
+            best_err = float(err[pos])
+        self.counters["selects"] += 1
+        if not best_err < keep_err:
+            return None
+        self.counters["arcs_chosen"] += 1
+        return (
+            int(table.size_values[pos]),
+            float(table.spacing[pos]),
+            int(table.counts[pos]),
+            best_err,
+            [float(v) for v in est[pos]],
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly counters + timers snapshot."""
+        return {
+            "counters": dict(self.counters),
+            "tables_cached": len(self._tables),
+            "timers": self.timers.as_dict(),
+        }
+
+    # -- internals -----------------------------------------------------
+    def _context_key(
+        self,
+        direct: float,
+        end_cap: float,
+        ctx: Mapping[str, Mapping[str, float]],
+    ) -> Tuple:
+        names = [c.name for c in self._corners]
+        return (
+            direct,
+            end_cap,
+            ctx["start_size"]["value"],
+            ctx["start_factor"]["value"],
+            ctx["driver_floor"][names[0]],
+            tuple(ctx["load_base"][n] for n in names),
+            tuple(ctx["old_contrib"][n] for n in names),
+            tuple(ctx["in_slew"][n] for n in names),
+        )
+
+    def _tanh(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise tanh that matches ``math.tanh`` bit for bit.
+
+        ``np.tanh`` differs from the C library in the last ulp on some
+        platforms, so gather unique values and evaluate each through
+        ``math.tanh`` (memoized), exactly like the timing kernel.
+        """
+        uniq, inverse = np.unique(values, return_inverse=True)
+        out = np.empty(uniq.size)
+        memo = self._tanh_memo
+        for i, v in enumerate(uniq.tolist()):
+            cached = memo.get(v)
+            if cached is None:
+                if len(memo) >= _TANH_MEMO_LIMIT:
+                    memo.clear()
+                cached = math.tanh(v)
+                memo[v] = cached
+            out[i] = cached
+        return out[inverse]
+
+    def _hops(
+        self, corner, lengths: np.ndarray, load_ff: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather hop (delay, elmore) through the shared scalar memo.
+
+        ``hop_wire_delay`` quantizes its key to 0.25 um, so evaluating one
+        representative original length per quantized bucket reproduces the
+        per-candidate scalar calls exactly — and warms the same cache.
+        """
+        qlen = np.rint(lengths * 4.0) / 4.0
+        uniq, first, inverse = np.unique(qlen, return_index=True, return_inverse=True)
+        delays = np.empty(uniq.size)
+        elmores = np.empty(uniq.size)
+        lib = self._library
+        for i, idx in enumerate(first.tolist()):
+            d, e = hop_wire_delay(lib, corner, float(lengths[idx]), load_ff)
+            delays[i] = d
+            elmores[i] = e
+        return delays[inverse], elmores[inverse]
+
+    def _snap_idx(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized ``snap_wl``: index of the nearest axis point (first tie wins)."""
+        return np.argmin(np.abs(self._wl_full[None, :] - values[:, None]), axis=1)
+
+    def _build_table(
+        self,
+        direct: float,
+        end_cap: float,
+        ctx: Mapping[str, Mapping[str, float]],
+    ) -> ArcCandidateTable:
+        lib = self._library
+        cfg = self._config
+        routed = ctx["start_factor"]["value"]
+        start_size = int(ctx["start_size"]["value"])
+        # hop_wire_delay bakes in the chain factor; the first hop belongs
+        # to the start anchor's net, so rescale its length accordingly.
+        hop0_scale = routed / chain_length_factor()
+        wl_max = float(self._wl_full[-1])
+        min_count_geo = max(0, int(math.ceil(direct / wl_max)) - 1)
+
+        ext_len = direct + self._ext
+        n_wire = int(self._ext.size)
+        n_wl = int(self._wl_vals.size)
+        n_cnt = int(self._counts.size)
+        n_sizes = len(self._sizes)
+        block = n_wl * n_cnt
+
+        spacing_grid = np.maximum(
+            self._wl_vals[:, None], direct / (self._counts[None, :] + 1.0)
+        )
+        sp_flat = spacing_grid.reshape(-1)
+        count_flat = np.tile(self._counts, n_wl)
+        valid_buf = sp_flat <= wl_max
+        wl_idx_flat = self._snap_idx(sp_flat)
+
+        total_candidates = n_wire + n_sizes * block
+        est = np.empty((total_candidates, len(self._corners)))
+
+        for k, corner in enumerate(self._corners):
+            name = corner.name
+            wire = lib.wire(corner)
+            cell_start = lib.cell(start_size, corner)
+            in_slew = ctx["in_slew"][name]
+            base = ctx["load_base"][name] - ctx["old_contrib"][name]
+            d1 = cell_start.delay(in_slew, cell_start.input_cap_ff)
+            s1 = cell_start.output_slew(in_slew, cell_start.input_cap_ff)
+            sqrt_ref = math.sqrt(REFERENCE_SIZE / start_size)
+            slew_term = (
+                SLEW_GAIN * math.tanh(in_slew / SLEW_SCALE_PS) * (start_size / MAX_SIZE)
+            )
+
+            def front(lengths: np.ndarray, first_pin: float):
+                """Start-anchor pair + first hop, vectorized over candidates.
+
+                Mirrors the reference ``_estimate`` head: new net load,
+                pair timing against it, signoff correction, hop0 delay.
+                Returns (accumulated delay, pair output slew, hop elmore).
+                """
+                seg = wire.cap_per_um * (lengths * routed)
+                new_load = (base + seg) + first_pin
+                load = np.maximum(new_load, 0.0)
+                d2 = _lookup_load_vec(cell_start.delay_table, s1, load)
+                s2 = _lookup_load_vec(cell_start.slew_table, s1, load)
+                load_term = LOAD_GAIN * self._tanh(load / LOAD_SCALE_FF) * sqrt_ref
+                factor = 1.0 + load_term - slew_term
+                total = (d1 + d2) * factor
+                hop_d, hop_e = self._hops(corner, lengths * hop0_scale, first_pin)
+                total = total + hop_d
+                return total, s2, hop_e
+
+            wire_total, _, _ = front(ext_len, end_cap)
+            est[:n_wire, k] = wire_total
+
+            for pos, row in enumerate(self._size_rows):
+                first_pin = self._pin_caps[pos]
+                total, s2, hop_e = front(sp_flat, first_pin)
+                step = LN9 * hop_e
+                slew1 = np.sqrt(s2 * s2 + step * step)
+                det = self._detail[k, row]
+                det_first_end = _lookup_detail(
+                    det, self._det_sax, self._det_lax, wl_idx_flat, slew1, end_cap
+                )
+                det_first_pin = _lookup_detail(
+                    det, self._det_sax, self._det_lax, wl_idx_flat, slew1, first_pin
+                )
+                uni = self._uniform[k, row, wl_idx_flat]
+                steady = self._uniform_slew[k, row, wl_idx_flat]
+                det_last_end = _lookup_detail(
+                    det, self._det_sax, self._det_lax, wl_idx_flat, steady, end_cap
+                )
+                single = total + det_first_end
+                multi = ((total + det_first_pin) + uni * (count_flat - 2)) + det_last_end
+                start = n_wire + pos * block
+                est[start : start + block, k] = np.where(
+                    count_flat == 1, single, multi
+                )
+
+        stage0 = self._uniform[0][self._size_rows][:, self._wl_sel]
+        spacing_all = np.concatenate([ext_len, np.tile(sp_flat, n_sizes)])
+        counts_all = np.concatenate(
+            [np.zeros(n_wire, dtype=np.int64), np.tile(count_flat, n_sizes)]
+        )
+        size_values = np.concatenate(
+            [
+                np.full(n_wire, self._sizes[0], dtype=np.int64),
+                np.repeat(np.asarray(self._sizes, dtype=np.int64), block),
+            ]
+        )
+        valid_static = np.concatenate(
+            [np.ones(n_wire, dtype=bool), np.tile(valid_buf, n_sizes)]
+        )
+        return ArcCandidateTable(
+            est=est,
+            spacing=spacing_all,
+            counts=counts_all,
+            size_values=size_values,
+            n_wire=n_wire,
+            valid_static=valid_static,
+            stage0=stage0,
+            min_count_geo=min_count_geo,
+            driver_floor0=ctx["driver_floor"][self._corners[0].name],
+        )

@@ -57,14 +57,18 @@ def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
         improvement_eps_ps=payload["improvement_eps_ps"],
         engine=engine,
     )
-    realized, _result, stats = realize_verified_plan(
+    realized, _result, stats, eco_stats = realize_verified_plan(
         ctx,
         tree,
         payload["data"],
         payload["solution"],
         allow_batches=payload["allow_batches"],
     )
-    return {"tree": tree_to_dict(realized), "stats": list(stats)}
+    return {
+        "tree": tree_to_dict(realized),
+        "stats": list(stats),
+        "eco_stats": eco_stats,
+    }
 
 
 def build_realize_payload(

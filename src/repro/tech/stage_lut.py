@@ -18,7 +18,8 @@ Wirelengths sweep 10um..200um in 5um steps, matching the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,15 +44,87 @@ _SLEW_TOL_PS = 0.01
 _MAX_FIXED_POINT_ITERS = 60
 
 
-#: Memo for hop_wire_delay: the ECO candidate search evaluates the same
-#: (corner, length, load) combinations thousands of times, and each cold
-#: evaluation builds a discretized RC tree.  Keys quantize to 0.25 um and
-#: 0.05 fF — far below any delay-relevant resolution.
-_HOP_CACHE: Dict[Tuple[int, str, float, float], Tuple[float, float]] = {}
+class HopDelayCache:
+    """Bounded LRU memo for :func:`hop_wire_delay`.
+
+    The ECO candidate search evaluates the same (corner, length, load)
+    combinations thousands of times, and each cold evaluation builds a
+    discretized RC tree.  Keys quantize to 0.25 um and 0.05 fF — far below
+    any delay-relevant resolution.  Like :class:`repro.route.rc_net.EdgeRCCache`,
+    the memo relies on dict insertion order for LRU bookkeeping: a hit
+    re-inserts its key, and when the cache is full the oldest half is
+    dropped in one sweep (amortized O(1), no per-entry linked list).
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        if max_entries < 2:
+            raise ValueError("cache needs at least two entries")
+        self._max_entries = max_entries
+        self._values: Dict[Tuple[int, str, float, float], Tuple[float, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def metrics(
+        self, library: Library, corner: Corner, wirelength_um: float, load_ff: float
+    ) -> Tuple[float, float]:
+        """``(delay_ps, elmore_ps)`` for one hop, memoized on quantized keys."""
+        from repro.route.congestion import chain_length_factor
+        from repro.route.rc_net import edge_rc_tree
+        from repro.sta.d2m import d2m_delays
+        from repro.sta.elmore import elmore_delays
+        from repro.geometry import Point
+
+        key = (
+            id(library),
+            corner.name,
+            round(wirelength_um * 4.0) / 4.0,
+            round(load_ff * 20.0) / 20.0,
+        )
+        cached = self._values.get(key)
+        if cached is not None:
+            self.hits += 1
+            # Refresh recency: move the key to the dict's insertion tail.
+            del self._values[key]
+            self._values[key] = cached
+            return cached
+        self.misses += 1
+        length = key[2] * chain_length_factor()
+        wire = library.wire(corner)
+        rc = edge_rc_tree([Point(0.0, 0.0), Point(length, 0.0)], wire, key[3])
+        delay = d2m_delays(rc)["sink"]
+        elmore = elmore_delays(rc)["sink"]
+        if len(self._values) >= self._max_entries:
+            stale = list(islice(self._values, self._max_entries // 2))
+            for old in stale:
+                del self._values[old]
+            self.evictions += len(stale)
+        self._values[key] = (delay, elmore)
+        return delay, elmore
+
+
+#: Process-wide hop memo shared by both ECO backends (reference and kernel
+#: paths hit identical quantized keys, so warm entries transfer for free).
+_HOP_CACHE = HopDelayCache()
+
+
+def clear_hop_cache() -> None:
+    """Drop the process-wide hop memo (benches use this between timed runs)."""
+    _HOP_CACHE.clear()
 
 
 def hop_wire_delay(
-    library: Library, corner: Corner, wirelength_um: float, load_ff: float
+    library: Library,
+    corner: Corner,
+    wirelength_um: float,
+    load_ff: float,
+    cache: Optional[HopDelayCache] = None,
 ) -> Tuple[float, float]:
     """Distributed wire delay and Elmore of one hop with a far pin load.
 
@@ -62,32 +135,11 @@ def hop_wire_delay(
     the paper's technology characterization is).  The Elmore value feeds
     PERI slew degradation at the far pin.
     """
-    from repro.route.congestion import chain_length_factor
-    from repro.route.rc_net import edge_rc_tree
-    from repro.sta.d2m import d2m_delays
-    from repro.sta.elmore import elmore_delays
-    from repro.geometry import Point
-
     if wirelength_um <= 0.0:
         return 0.0, 0.0
-    key = (
-        id(library),
-        corner.name,
-        round(wirelength_um * 4.0) / 4.0,
-        round(load_ff * 20.0) / 20.0,
+    return (cache if cache is not None else _HOP_CACHE).metrics(
+        library, corner, wirelength_um, load_ff
     )
-    cached = _HOP_CACHE.get(key)
-    if cached is not None:
-        return cached
-    length = key[2] * chain_length_factor()
-    wire = library.wire(corner)
-    rc = edge_rc_tree([Point(0.0, 0.0), Point(length, 0.0)], wire, key[3])
-    delay = d2m_delays(rc)["sink"]
-    elmore = elmore_delays(rc)["sink"]
-    if len(_HOP_CACHE) > 200000:
-        _HOP_CACHE.clear()
-    _HOP_CACHE[key] = (delay, elmore)
-    return delay, elmore
 
 
 def stage_delay(
@@ -155,6 +207,29 @@ def steady_state_stage(
 
 
 @dataclass(frozen=True)
+class StageLUTPlanes:
+    """One corner's stage-delay LUTs compiled to dense arrays.
+
+    ``uniform``/``uniform_slew`` have shape ``(sizes, wl_axis)``;
+    ``detail``/``detail_slew`` have shape ``(sizes, wl_axis, slew_axis,
+    load_axis)``.  Every value is the exact float stored in the source
+    dicts/tables, so array gathers reproduce dict lookups bit for bit.
+    The detail grids must share one (slew, load) axis pair across all
+    (size, wirelength) entries — the compile step verifies that, and the
+    ECO kernel falls back to the scalar reference path when it fails.
+    """
+
+    sizes: Tuple[int, ...]
+    wl_axis: Tuple[float, ...]
+    uniform: np.ndarray
+    uniform_slew: np.ndarray
+    detail: np.ndarray
+    detail_slew: np.ndarray
+    detail_slew_axis: np.ndarray
+    detail_load_axis: np.ndarray
+
+
+@dataclass(frozen=True)
 class StageDelayLUT:
     """Characterized stage-delay tables for one corner.
 
@@ -201,6 +276,55 @@ class StageDelayLUT:
         axis = np.asarray(self.wl_axis)
         idx = int(np.argmin(np.abs(axis - wirelength_um)))
         return float(axis[idx])
+
+    def planes(self) -> StageLUTPlanes:
+        """Compile (and memoize) this corner's tables as dense planes.
+
+        Raises :class:`ValueError` when the tables cannot be compiled
+        (detail grids that disagree on axes, or degenerate single-point
+        axes that would take the scalar lookup's special-case branches).
+        """
+        cached = self.__dict__.get("_planes")
+        if cached is not None:
+            return cached
+        if not self.sizes or not self.wl_axis:
+            raise ValueError("cannot compile empty stage-delay LUT")
+        ref = self.detail[(self.sizes[0], self.wl_axis[0])]
+        sax = ref.slew_grid
+        lax = ref.load_grid
+        if sax.size < 2 or lax.size < 2:
+            raise ValueError("detail axes too small to compile into planes")
+        shape = (len(self.sizes), len(self.wl_axis))
+        uniform = np.empty(shape)
+        uniform_slew = np.empty(shape)
+        detail = np.empty(shape + (sax.size, lax.size))
+        detail_slew = np.empty_like(detail)
+        for i, size in enumerate(self.sizes):
+            for j, wl in enumerate(self.wl_axis):
+                uniform[i, j] = self.uniform[(size, wl)]
+                uniform_slew[i, j] = self.uniform_slew[(size, wl)]
+                dtab = self.detail[(size, wl)]
+                stab = self.detail_slew[(size, wl)]
+                for table in (dtab, stab):
+                    if not (
+                        np.array_equal(table.slew_grid, sax)
+                        and np.array_equal(table.load_grid, lax)
+                    ):
+                        raise ValueError("detail tables do not share one grid")
+                detail[i, j] = dtab.value_grid
+                detail_slew[i, j] = stab.value_grid
+        planes = StageLUTPlanes(
+            sizes=tuple(self.sizes),
+            wl_axis=tuple(self.wl_axis),
+            uniform=uniform,
+            uniform_slew=uniform_slew,
+            detail=detail,
+            detail_slew=detail_slew,
+            detail_slew_axis=sax.copy(),
+            detail_load_axis=lax.copy(),
+        )
+        object.__setattr__(self, "_planes", planes)
+        return planes
 
 
 def characterize_stage_luts(

@@ -1,0 +1,310 @@
+"""Differential contract of the vectorized ECO candidate kernel.
+
+The kernel backend must be a pure accelerator: same chosen (size,
+spacing, count) tuples, estimate agreement within 1e-9 ps (in practice
+bit-identical), and byte-identical realized trees and sweep trajectories
+against the scalar reference path — serial or pooled.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.eco_flow import ECOConfig, LPGuidedECO
+from repro.core.framework import (
+    GlobalOptConfig,
+    GlobalOptimizer,
+    RealizationContext,
+    realize_verified_plan,
+)
+from repro.core.lp import GlobalSkewLP, build_model_data, sweep_upper_bound
+from repro.eco.candidate_kernel import ECOCandidateKernel, ECOKernelUnsupported
+from repro.netlist.serialize import tree_to_dict
+from repro.tech.cells import NLDMTable
+from repro.tech.ratio_bounds import fit_all_ratio_bounds
+
+
+def _tree_bytes(tree) -> str:
+    return json.dumps(tree_to_dict(tree), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def mini_plan(mini_design, mini_problem, stage_luts):
+    """One LP plan on MINI, shared by every differential test."""
+    ratio_bounds = fit_all_ratio_bounds(mini_design.library)
+    data = build_model_data(
+        mini_design.tree,
+        mini_problem.timer,
+        mini_design.pairs,
+        mini_problem.alphas,
+        stage_luts,
+    )
+    lp = GlobalSkewLP(data, ratio_bounds)
+    solution = lp.minimize_changes(
+        lp.minimize_variation().achieved_variation_bound * 1.1
+    )
+    timings = {
+        c.name: mini_problem.timer.analyze_corner(mini_design.tree, c)
+        for c in mini_design.library.corners
+    }
+    return lp, data, solution, timings
+
+
+def _realize(mini_design, stage_luts, plan, backend, arc_indices=None):
+    _, data, solution, timings = plan
+    eco = LPGuidedECO(
+        mini_design.library,
+        stage_luts,
+        mini_design.legalizer,
+        config=ECOConfig(backend=backend),
+    )
+    trial = mini_design.tree.clone()
+    report = eco.realize(
+        trial, data, solution, timings, arc_indices=arc_indices
+    )
+    return eco, trial, report
+
+
+class TestEstimateParity:
+    @pytest.fixture(scope="class")
+    def both(self, mini_design, stage_luts, mini_plan):
+        ref = _realize(mini_design, stage_luts, mini_plan, "reference")
+        ker = _realize(mini_design, stage_luts, mini_plan, "kernel")
+        return ref, ker
+
+    def test_backends_identify_themselves(self, both):
+        (ref_eco, _, _), (ker_eco, _, _) = both
+        assert ref_eco.stats["backend"] == "reference"
+        assert ker_eco.stats["backend"] == "kernel"
+
+    def test_same_arcs_chosen(self, both):
+        (_, _, ref_rep), (_, _, ker_rep) = both
+        assert len(ref_rep) > 0
+        assert [r.arc_index for r in ref_rep] == [r.arc_index for r in ker_rep]
+
+    def test_identical_candidate_tuples(self, both):
+        (_, _, ref_rep), (_, _, ker_rep) = both
+        for a, b in zip(ref_rep, ker_rep):
+            assert (a.size, a.pair_count, a.spacing_um) == (
+                b.size,
+                b.pair_count,
+                b.spacing_um,
+            )
+
+    def test_estimates_within_1e9_ps(self, both):
+        (_, _, ref_rep), (_, _, ker_rep) = both
+        worst = 0.0
+        for a, b in zip(ref_rep, ker_rep):
+            diff = np.abs(np.subtract(a.estimates_ps, b.estimates_ps))
+            worst = max(worst, float(diff.max()))
+            assert a.estimate_error_ps == b.estimate_error_ps
+        assert worst <= 1e-9
+
+    def test_trees_byte_identical(self, both):
+        (_, ref_tree, _), (_, ker_tree, _) = both
+        assert _tree_bytes(ref_tree) == _tree_bytes(ker_tree)
+
+
+class TestSweepTrajectory:
+    @pytest.mark.slow
+    def test_sweep_points_byte_identical(
+        self, mini_problem, stage_luts, mini_plan
+    ):
+        """Every sweep point's realized tree matches across backends."""
+        lp, data, _, _ = mini_plan
+        solutions = sweep_upper_bound(lp, (1.0, 1.15))
+        trajectories = {}
+        for backend in ("reference", "kernel"):
+            cfg = GlobalOptConfig(eco=ECOConfig(backend=backend))
+            ctx = RealizationContext.from_problem(mini_problem, stage_luts, cfg)
+            base = mini_problem.design.tree
+            points = []
+            for _bound, solution in solutions:
+                tree_u, _result, counts, _eco_stats = realize_verified_plan(
+                    ctx, base, data, solution, allow_batches=False
+                )
+                points.append((counts, _tree_bytes(tree_u)))
+            trajectories[backend] = points
+        assert trajectories["reference"] == trajectories["kernel"]
+
+    @pytest.mark.slow
+    def test_workers_1_vs_4_byte_identical(self, mini_problem, mini_design):
+        """The pooled sweep (fresh kernels per worker) folds identically."""
+        from repro.core.framework import TechnologyCache
+
+        trees = {}
+        for workers in (1, 4):
+            tech = TechnologyCache(mini_design.library)
+            result = GlobalOptimizer(
+                mini_problem,
+                tech,
+                GlobalOptConfig(
+                    sweep_factors=(1.0, 1.15),
+                    max_iterations=1,
+                    workers=workers,
+                    eco=ECOConfig(backend="kernel"),
+                ),
+            ).run()
+            trees[workers] = (result.arcs_realized, _tree_bytes(result.tree))
+        assert trees[1] == trees[4]
+
+
+class TestSweepCacheAndStats:
+    def test_tables_hit_across_repeat_realizations(
+        self, mini_design, stage_luts, mini_plan
+    ):
+        """Re-realizing the same plan reuses every candidate table."""
+        _, data, solution, timings = mini_plan
+        eco = LPGuidedECO(
+            mini_design.library,
+            stage_luts,
+            mini_design.legalizer,
+            config=ECOConfig(backend="kernel"),
+        )
+        first = eco.realize(
+            mini_design.tree.clone(), data, solution, timings
+        )
+        built = eco.stats["counters"]["tables_built"]
+        assert built > 0
+        second = eco.realize(
+            mini_design.tree.clone(), data, solution, timings
+        )
+        assert eco.stats["counters"]["tables_built"] == built
+        assert eco.stats["counters"]["table_hits"] >= built
+        assert [r.arc_index for r in first] == [r.arc_index for r in second]
+
+    def test_kernel_reports_phase_timers(self, mini_design, stage_luts, mini_plan):
+        eco, _, _ = _realize(mini_design, stage_luts, mini_plan, "kernel")
+        timers = eco.stats["timers"]["seconds"]
+        assert "compile" in timers
+        assert "table_build" in timers
+        assert "select" in timers
+        assert eco.stats["counters"]["candidates_evaluated"] > 0
+
+    @pytest.mark.slow
+    def test_framework_aggregates_eco_stats(self, mini_problem, mini_design):
+        from repro.core.framework import TechnologyCache
+
+        result = GlobalOptimizer(
+            mini_problem,
+            TechnologyCache(mini_design.library),
+            GlobalOptConfig(
+                sweep_factors=(1.1,),
+                max_iterations=1,
+                eco=ECOConfig(backend="kernel"),
+            ),
+        ).run()
+        eco_stats = result.stats["eco"]
+        assert eco_stats["backend"] == "kernel"
+        assert eco_stats["counters"]["candidates_evaluated"] > 0
+        assert eco_stats["timers"]["seconds"]["select"] >= 0.0
+
+
+class TestCLS1Parity:
+    @pytest.mark.slow
+    def test_arc_subset_parity(self):
+        """Same contract on CLS1v1 (subset of arcs keeps the scan cheap)."""
+        from repro.core.objective import SkewVariationProblem
+        from repro.tech.stage_lut import characterize_stage_luts
+        from repro.testcases.cls1 import build_cls1
+
+        design = build_cls1(1)
+        problem = SkewVariationProblem.create(design)
+        luts = characterize_stage_luts(design.library)
+        data = build_model_data(
+            design.tree, problem.timer, design.pairs, problem.alphas, luts
+        )
+        lp = GlobalSkewLP(data, fit_all_ratio_bounds(design.library))
+        solution = lp.minimize_changes(
+            lp.minimize_variation().achieved_variation_bound * 1.1
+        )
+        timings = {
+            c.name: problem.timer.analyze_corner(design.tree, c)
+            for c in design.library.corners
+        }
+        subset = solution.nonzero_arcs()[:8]
+        outputs = {}
+        for backend in ("reference", "kernel"):
+            eco = LPGuidedECO(
+                design.library,
+                luts,
+                design.legalizer,
+                config=ECOConfig(backend=backend),
+            )
+            trial = design.tree.clone()
+            report = eco.realize(
+                trial, data, solution, timings, arc_indices=subset
+            )
+            outputs[backend] = (
+                [
+                    (r.arc_index, r.size, r.pair_count, r.spacing_um)
+                    for r in report
+                ],
+                [r.estimates_ps for r in report],
+                _tree_bytes(trial),
+            )
+        ref, ker = outputs["reference"], outputs["kernel"]
+        assert len(ref[0]) > 0
+        assert ref[0] == ker[0]
+        for a, b in zip(ref[1], ker[1]):
+            assert float(np.abs(np.subtract(a, b)).max()) <= 1e-9
+        assert ref[2] == ker[2]
+
+
+class TestFallback:
+    def _doctored_luts(self, stage_luts):
+        """Break one corner's detail grid so plane compilation fails."""
+        name = sorted(stage_luts)[-1]
+        lut = stage_luts[name]
+        key = next(iter(lut.detail))
+        table = lut.detail[key]
+        shifted = NLDMTable(
+            tuple(s + 1.0 for s in table.slew_axis),
+            table.load_axis,
+            table.values,
+        )
+        detail = dict(lut.detail)
+        detail[key] = shifted
+        doctored = dict(stage_luts)
+        doctored[name] = dataclasses.replace(lut, detail=detail)
+        return doctored
+
+    def test_kernel_rejects_inconsistent_grids(
+        self, mini_design, stage_luts
+    ):
+        with pytest.raises(ECOKernelUnsupported):
+            ECOCandidateKernel(
+                mini_design.library,
+                self._doctored_luts(stage_luts),
+                ECOConfig(),
+            )
+
+    def test_falls_back_to_reference_semantics(
+        self, mini_design, stage_luts, mini_plan
+    ):
+        """Uncompilable LUTs silently use the scalar path (same results)."""
+        _, data, solution, timings = mini_plan
+        doctored = self._doctored_luts(stage_luts)
+        nonzero = solution.nonzero_arcs()[:3]
+        outputs = {}
+        for backend in ("kernel", "reference"):
+            eco = LPGuidedECO(
+                mini_design.library,
+                doctored,
+                mini_design.legalizer,
+                config=ECOConfig(backend=backend),
+            )
+            trial = mini_design.tree.clone()
+            report = eco.realize(
+                trial, data, solution, timings, arc_indices=nonzero
+            )
+            outputs[backend] = (
+                eco.stats["backend"],
+                [(r.arc_index, r.size, r.pair_count, r.spacing_um) for r in report],
+                _tree_bytes(trial),
+            )
+        assert outputs["kernel"][0] == "reference-fallback"
+        assert outputs["reference"][0] == "reference"
+        assert outputs["kernel"][1:] == outputs["reference"][1:]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.tech.stage_lut import (
     DEFAULT_WL_AXIS,
+    HopDelayCache,
     characterize_stage_luts,
     hop_wire_delay,
     stage_delay,
@@ -59,6 +60,62 @@ class TestHopWireDelay:
             library_cls1, library_cls1.corners.nominal, 150.0, 2.0
         )
         assert 0.0 < d <= e
+
+
+class TestHopDelayCache:
+    def test_hit_returns_cached_value(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        cache = HopDelayCache(max_entries=4)
+        first = cache.metrics(library_cls1, corner, 80.0, 4.0)
+        again = cache.metrics(library_cls1, corner, 80.0, 4.0)
+        assert again == first
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.evictions == 0
+
+    def test_quantized_keys_share_entries(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        cache = HopDelayCache(max_entries=4)
+        cache.metrics(library_cls1, corner, 80.0, 4.0)
+        # 80.1 um rounds to the same 0.25-um bucket as 80.0.
+        cache.metrics(library_cls1, corner, 80.1, 4.0)
+        assert cache.hits == 1
+
+    def test_eviction_is_bounded_and_counted(self, library_cls1):
+        """Overfilling drops the oldest half instead of growing forever."""
+        corner = library_cls1.corners.nominal
+        cache = HopDelayCache(max_entries=4)
+        for wl in (10.0, 20.0, 30.0, 40.0, 50.0):
+            cache.metrics(library_cls1, corner, wl, 4.0)
+        assert len(cache) <= 4
+        assert cache.evictions == 2
+        # The oldest entries (10, 20) were dropped; recent ones survive.
+        cache.metrics(library_cls1, corner, 50.0, 4.0)
+        assert cache.hits == 1
+        cache.metrics(library_cls1, corner, 10.0, 4.0)
+        assert cache.misses == 6
+
+    def test_hit_refreshes_lru_position(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        cache = HopDelayCache(max_entries=4)
+        for wl in (10.0, 20.0, 30.0, 40.0):
+            cache.metrics(library_cls1, corner, wl, 4.0)
+        # Touch the oldest entry, then overflow: it must survive the purge.
+        cache.metrics(library_cls1, corner, 10.0, 4.0)
+        cache.metrics(library_cls1, corner, 50.0, 4.0)
+        cache.metrics(library_cls1, corner, 10.0, 4.0)
+        assert cache.hits == 2
+
+    def test_values_match_uncached_compute(self, library_cls1):
+        corner = library_cls1.corners.nominal
+        cache = HopDelayCache(max_entries=4)
+        assert cache.metrics(library_cls1, corner, 120.0, 6.0) == hop_wire_delay(
+            library_cls1, corner, 120.0, 6.0
+        )
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            HopDelayCache(max_entries=1)
 
 
 class TestCharacterization:
