@@ -33,6 +33,7 @@ TRACKED = {
     "BENCH_parallel_smoke.json": (),
     "BENCH_kernel_smoke.json": ("speedup",),
     "BENCH_eco_smoke.json": ("speedup",),
+    "BENCH_features_smoke.json": ("speedup",),
 }
 
 #: file name -> boolean flags that must not regress to false.
@@ -41,6 +42,7 @@ FLAGS = {
     "BENCH_parallel_smoke.json": ("trajectory_identical",),
     "BENCH_kernel_smoke.json": ("kernel_identical",),
     "BENCH_eco_smoke.json": ("kernel_identical",),
+    "BENCH_features_smoke.json": ("kernel_identical", "pooled_identical"),
 }
 
 

@@ -30,6 +30,16 @@ from repro.analysis.report import render_table
 TESTCASES = ("MINI", "CLS1v1", "CLS1v2", "CLS2v1")
 
 
+def _workers_arg(value: str):
+    """Parse ``--workers``: a positive int or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1 or 'auto'")
+    return count
+
+
 def _build_design(name: str):
     if name == "MINI":
         from repro.testcases.mini import build_mini
@@ -122,17 +132,22 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             predictor = train_predictor(design.library, samples, args.predictor)
 
     from repro.core.eco_flow import ECOConfig
+    from repro.parallel.pool import resolve_workers
 
+    # The local config resolves "auto" itself (and notes it in stats);
+    # the global sweep pool takes a plain int.
+    global_workers, _ = resolve_workers(args.workers)
     config = FrameworkConfig(
         global_config=GlobalOptConfig(
             sweep_factors=(1.0, 1.15),
-            workers=args.workers,
+            workers=global_workers,
             eco=ECOConfig(backend=args.eco_backend),
         ),
         local_config=LocalOptConfig(
             max_iterations=args.local_iterations,
             buffers_per_iteration=args.buffers_per_iteration,
             workers=args.workers,
+            feature_backend=args.feature_backend,
         ),
     )
     t0 = time.time()
@@ -350,9 +365,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--buffers-per-iteration", type=int, default=24)
     p_opt.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        help="process-pool size for verification fan-out (1 = serial)",
+        help=(
+            "process-pool size for verification fan-out (1 = serial; "
+            "'auto' sizes to the effective CPU count and degrades to "
+            "serial on 1-CPU hosts)"
+        ),
     )
     p_opt.add_argument(
         "--trajectory-out",
@@ -370,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="kernel",
         choices=("kernel", "reference"),
         help="ECO candidate-search engine (bit-identical; reference is the scalar scan)",
+    )
+    p_opt.add_argument(
+        "--feature-backend",
+        default="kernel",
+        choices=("kernel", "reference"),
+        help=(
+            "move-featurization engine (bit-identical; reference is the "
+            "scalar per-move path)"
+        ),
     )
     p_opt.add_argument("--out", default=None)
 

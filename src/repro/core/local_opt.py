@@ -55,13 +55,21 @@ class LocalOptConfig:
     #: ``False`` runs the original per-move ``extract_features`` path;
     #: both produce identical committed-move trajectories.
     use_pipeline: bool = True
+    #: Featurization backend: ``"kernel"`` batches cache misses through
+    #: the array-backed :class:`~repro.core.ml.feature_kernel.
+    #: FeatureKernel` (and vectorizes the score stage); ``"reference"``
+    #: runs the scalar per-move path.  Both commit byte-identical
+    #: trajectories.  Ignored when ``use_pipeline`` is False.
+    feature_backend: str = "kernel"
     #: ``workers > 1`` fans the top-``R`` trial verification out to a
     #: persistent process pool (:mod:`repro.parallel`): each worker holds
     #: a delta-synced tree + timer replica and golden-verifies its shard.
     #: The reduce is deterministic, so the committed-move trajectory is
     #: bit-identical to the serial one.  ``workers == 1`` runs today's
-    #: serial path exactly.
-    workers: int = 1
+    #: serial path exactly.  ``"auto"`` resolves against the CPUs
+    #: actually available to this process and degrades to serial when a
+    #: pool cannot win (effective CPUs < 2).
+    workers: object = 1
     #: Multiprocessing start method (``None`` = fork where available).
     mp_context: Optional[str] = None
 
@@ -126,10 +134,17 @@ class LocalOptimizer:
         initial = result.total_variation
         timers = StageTimers()
         pipeline = (
-            CandidatePipeline(problem.design.library) if cfg.use_pipeline else None
+            CandidatePipeline(
+                problem.design.library, backend=cfg.feature_backend
+            )
+            if cfg.use_pipeline
+            else None
         )
+        from repro.parallel.pool import resolve_workers
+
+        workers, workers_note = resolve_workers(cfg.workers)
         verifier = None
-        if cfg.workers > 1:
+        if workers > 1:
             from repro.parallel.verify import ParallelVerifier
 
             # The replica spec snapshots the run's *starting* tree; the
@@ -138,7 +153,7 @@ class LocalOptimizer:
             verifier = ParallelVerifier(
                 problem,
                 current,
-                cfg.workers,
+                workers,
                 local_skew_tolerance_ps=cfg.local_skew_tolerance_ps,
                 mp_context=cfg.mp_context,
             )
@@ -197,6 +212,11 @@ class LocalOptimizer:
             "pipeline": pipeline.cache_stats() if pipeline is not None else None,
             "engine": dict(problem.engine().stats),
             "parallel": verifier.stats_dict() if verifier is not None else None,
+            "workers": {
+                "requested": cfg.workers,
+                "effective": workers,
+                "note": workers_note,
+            },
         }
         return LocalOptResult(
             tree=current,
@@ -349,10 +369,18 @@ class LocalOptimizer:
                 predictions = self._predictor.predict_batch(features)
         ranked: List[Tuple[float, MoveFeatures]] = []
         with timers.stage("score"):
-            for feats, pred in zip(features, predictions):
-                reduction = predicted_variation_reduction(
-                    problem, tree, result, feats, pred
+            if pipeline is not None and pipeline.backend == "kernel":
+                reductions = batched_variation_reductions(
+                    problem, tree, result, features, predictions
                 )
+            else:
+                reductions = [
+                    predicted_variation_reduction(
+                        problem, tree, result, feats, pred
+                    )
+                    for feats, pred in zip(features, predictions)
+                ]
+            for feats, reduction in zip(features, reductions):
                 if reduction > cfg.min_predicted_reduction_ps:
                     ranked.append((reduction, feats))
             ranked.sort(key=lambda item: -item[0])
@@ -420,6 +448,115 @@ def predicted_variation_reduction(
         new_v = worst_pair_variation(adjusted, pair, corners, alphas)
         total_delta += new_v - current_v
     return -total_delta
+
+
+def batched_variation_reductions(
+    problem: SkewVariationProblem,
+    tree: ClockTree,
+    result: TimingResult,
+    features: Sequence[MoveFeatures],
+    predictions: Sequence[Mapping[str, float]],
+) -> List[float]:
+    """Vectorized :func:`predicted_variation_reduction` over a batch.
+
+    Bit-identical to calling the scalar function per move: the affected
+    sink sets and pair filters depend only on (buffer, surgery target),
+    so they are grouped and computed once; per move, the per-pair
+    adjusted skews, the Eq. (1) variations over the corner pairs (in
+    ``corners.pairs()`` order) and the running Eq. (3) delta sum all run
+    as arrays whose elementwise operations replay the scalar float
+    sequence exactly (``np.maximum`` chains match builtin ``max``,
+    ``np.add.accumulate`` matches the ``+=`` loop).
+    """
+    corners = problem.design.library.corners
+    corner_list = list(corners)
+    n_corner = len(corner_list)
+    alphas = problem.alphas
+    alpha = np.array([alphas[c.name] for c in corner_list])
+    idx_of = {c.name: i for i, c in enumerate(corner_list)}
+    corner_pairs = [
+        (idx_of[a.name], idx_of[b.name]) for a, b in corners.pairs()
+    ]
+    latencies = result.latencies
+    pair_variation = result.skews.pair_variation
+
+    group_cache: Dict[Tuple, object] = {}
+    out: List[float] = []
+    for feats, pred in zip(features, predictions):
+        move = feats.move
+        key = (move.buffer, move.type is MoveType.SURGERY, move.new_parent)
+        group = group_cache.get(key)
+        if group is None:
+            subtree_sinks = set(tree.subtree_sinks(move.buffer))
+            old_parent = tree.parent(move.buffer)
+            old_sib_sinks = (
+                set(tree.subtree_sinks(old_parent)) - subtree_sinks
+                if old_parent is not None
+                else set()
+            )
+            new_sib_sinks: Set[int] = set()
+            if move.type is MoveType.SURGERY and move.new_parent is not None:
+                new_sib_sinks = (
+                    set(tree.subtree_sinks(move.new_parent)) - subtree_sinks
+                )
+            affected = subtree_sinks | old_sib_sinks | new_sib_sinks
+            pairs = [
+                p
+                for p in problem.pairs
+                if p[0] in affected or p[1] in affected
+            ]
+            if pairs:
+
+                def classify(sink: int) -> int:
+                    # Same priority order as delta_for's if-chain.
+                    if sink in subtree_sinks:
+                        return 0
+                    if sink in old_sib_sinks:
+                        return 1
+                    if sink in new_sib_sinks:
+                        return 2
+                    return 3
+
+                cls_a = np.array([classify(p[0]) for p in pairs])
+                cls_b = np.array([classify(p[1]) for p in pairs])
+                lat_a = np.array(
+                    [
+                        [latencies[c.name][p[0]] for p in pairs]
+                        for c in corner_list
+                    ]
+                )
+                lat_b = np.array(
+                    [
+                        [latencies[c.name][p[1]] for p in pairs]
+                        for c in corner_list
+                    ]
+                )
+                current_v = np.array([pair_variation[p] for p in pairs])
+                group = (cls_a, cls_b, lat_a, lat_b, current_v)
+            else:
+                group = ()
+            group_cache[key] = group
+        if not group:
+            out.append(0.0)
+            continue
+        cls_a, cls_b, lat_a, lat_b, current_v = group
+        side = feats.impacts[SIDE_EFFECT_VARIANT]
+        dval = np.zeros((n_corner, 4))
+        for c, corner in enumerate(corner_list):
+            name = corner.name
+            dval[c, 0] = pred[name]
+            dval[c, 1] = side.old_siblings[name]
+            dval[c, 2] = side.new_siblings[name]
+        skew = (lat_a + dval[np.arange(n_corner)[:, None], cls_a[None, :]]) - (
+            lat_b + dval[np.arange(n_corner)[:, None], cls_b[None, :]]
+        )
+        new_v = None
+        for i, j in corner_pairs:
+            v = np.abs(alpha[i] * skew[i] - alpha[j] * skew[j])
+            new_v = v if new_v is None else np.maximum(new_v, v)
+        total_delta = np.add.accumulate(new_v - current_v)[-1]
+        out.append(-float(total_delta))
+    return out
 
 
 def random_move_baseline(

@@ -36,8 +36,14 @@ from repro.route.rsmt import rsmt
 from repro.route.single_trunk import single_trunk_tree
 from repro.sta.d2m import d2m_delays
 from repro.sta.elmore import elmore_delays
-from repro.sta.gate import inverter_pair_timing
+from repro.sta.gate import (
+    GATE_SLEW_QUANTUM_PS,
+    PairTiming,
+    inverter_pair_timing,
+    quantize_gate_inputs,
+)
 from repro.sta.slew import wire_degraded_slew
+from repro.tech.cells import InverterCell
 from repro.sta.timer import CornerTiming
 from repro.tech.corners import Corner
 from repro.tech.library import Library
@@ -50,6 +56,29 @@ DELAY_METRICS = ("elmore", "d2m")
 
 #: RC discretization for estimates (coarser than golden: it's a predictor).
 ESTIMATE_SEGMENT_UM = 40.0
+
+
+def _pair_timing(
+    cell: InverterCell, in_slew_ps: float, load_ff: float
+) -> PairTiming:
+    """Gate evaluation on the shared quantized (slew, load) grid.
+
+    Every analytical gate evaluation funnels through here so the
+    estimator uses the same input quantization as the timing engines:
+    slew jitter below half a quantum collapses to one table lookup and
+    one :class:`AnalyticalCache` time-memo key, which is what makes the
+    memo recur across local-opt epochs.  The feature kernel
+    (:mod:`repro.core.ml.feature_kernel`) mirrors this exact sequence
+    (``np.rint`` on the same quanta, then the four NLDM lookups), so any
+    change here must be reflected there.
+    """
+    slew_q, load_q = quantize_gate_inputs(in_slew_ps, load_ff)
+    return inverter_pair_timing(cell, slew_q, load_q)
+
+
+def _quantize_slew(in_slew_ps: float) -> float:
+    """The slew half of :func:`quantize_gate_inputs` (memo-key snapping)."""
+    return round(in_slew_ps / GATE_SLEW_QUANTUM_PS) * GATE_SLEW_QUANTUM_PS
 
 
 @dataclass(frozen=True)
@@ -165,7 +194,7 @@ def time_net(
     total_load = wire.segment_cap(plan.wirelength_um) + sum(
         c for _, _, c in plan.children
     )
-    pair = inverter_pair_timing(cell, in_slew_ps, total_load)
+    pair = _pair_timing(cell, in_slew_ps, total_load)
 
     points = [plan.driver_loc] + [loc for _, loc, _ in plan.children]
     bbox = BBox.of_points(points)
@@ -211,21 +240,34 @@ class AnalyticalCache:
     def __init__(self, max_entries: int = 200_000) -> None:
         self.max_entries = max_entries
         self._plans: Dict[tuple, _NetPlan] = {}
+        self._routes: Dict[tuple, Tuple[object, float]] = {}
         self._times: Dict[tuple, NetEstimate] = {}
         self._weights: Dict[int, Dict[int, int]] = {}
         self._weights_scope: Optional[Tuple[int, int]] = None
         self.stats: Dict[str, int] = {
             "plan_hits": 0,
             "plan_misses": 0,
+            "route_hits": 0,
+            "route_misses": 0,
             "time_hits": 0,
             "time_misses": 0,
         }
 
     def clear(self) -> None:
         self._plans.clear()
+        self._routes.clear()
         self._times.clear()
         self._weights.clear()
         self._weights_scope = None
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Per-memo hit rates (0..1; memos with no traffic report 0.0)."""
+        out: Dict[str, float] = {}
+        for memo in ("plan", "route", "time"):
+            hits = self.stats[f"{memo}_hits"]
+            total = hits + self.stats[f"{memo}_misses"]
+            out[f"{memo}_hit_rate"] = round(hits / total, 4) if total else 0.0
+        return out
 
     def plan_net(
         self,
@@ -239,7 +281,38 @@ class AnalyticalCache:
             self.stats["plan_hits"] += 1
             return plan
         self.stats["plan_misses"] += 1
-        plan = plan_net(driver_loc, children, route_model)
+        if route_model == "star":
+            plan = plan_net(driver_loc, children, route_model)
+        else:
+            # Route topology depends only on the point set, not on pin
+            # caps or child ids, so a second geometry-keyed memo shares
+            # the expensive RSMT/trunk construction across plans that
+            # differ only in sizing (CHILD_SIZING sweeps, resizes).
+            route_key = (
+                route_model,
+                driver_loc,
+                tuple(loc for _, loc, _ in children),
+            )
+            cached = self._routes.get(route_key)
+            if cached is not None:
+                self.stats["route_hits"] += 1
+                route, wirelength = cached
+                plan = _NetPlan(
+                    driver_loc=driver_loc,
+                    children=tuple(children),
+                    route_model=route_model,
+                    route=route,
+                    name_of={
+                        cid: i + 1 for i, (cid, _, _) in enumerate(children)
+                    },
+                    wirelength_um=wirelength,
+                )
+            else:
+                self.stats["route_misses"] += 1
+                plan = plan_net(driver_loc, children, route_model)
+                if len(self._routes) >= self.max_entries:
+                    self._routes.pop(next(iter(self._routes)))
+                self._routes[route_key] = (plan.route, plan.wirelength_um)
         if len(self._plans) >= self.max_entries:
             self._plans.pop(next(iter(self._plans)))
         self._plans[key] = plan
@@ -254,13 +327,17 @@ class AnalyticalCache:
         in_slew_ps: float,
         segment_um: float = ESTIMATE_SEGMENT_UM,
     ) -> NetEstimate:
+        # The gate evaluation inside time_net quantizes its slew input,
+        # so keying on the *quantized* slew is exact — and it is what
+        # makes the memo hit across epochs: re-timed snapshots move
+        # slews by sub-quantum jitter that previously forged new keys.
         key = (
             plan.route_model,
             plan.driver_loc,
             plan.children,
             corner.name,
             driver_size,
-            in_slew_ps,
+            _quantize_slew(in_slew_ps),
             segment_um,
         )
         est = self._times.get(key)
@@ -482,7 +559,7 @@ def _estimate_displace(
                 b_est.out_slew_ps, b_est.wire_elmore_ps[resized_child]
             )
             child_cell = library.cell(child_new_size, corner)
-            child_pair = inverter_pair_timing(
+            child_pair = _pair_timing(
                 child_cell,
                 child_slew,
                 timing.driver_load.get(resized_child, 0.0),
@@ -608,7 +685,7 @@ def _estimate_surgery(
             new_est.out_slew_ps, new_est.wire_elmore_ps[b]
         )
         b_cell = library.cell(b_node.size, corner)
-        b_pair = inverter_pair_timing(
+        b_pair = _pair_timing(
             b_cell, slew_at_b, timing.driver_load.get(b, 0.0)
         )
         d_b_pair = b_pair.delay_ps - timing.driver_delay.get(b, 0.0)

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.ml.features import MoveFeatures, extract_features
+from repro.core.ml.features import MoveFeatures
+from repro.core.ml.pipeline import CandidatePipeline
 from repro.core.moves import Move, enumerate_moves
 from repro.eco.legalize import Legalizer
 from repro.geometry import BBox, Point
@@ -41,7 +42,12 @@ class ArtificialCase:
 
 @dataclass
 class MoveSample:
-    """One (features, golden target) training sample."""
+    """One (features, golden target) training sample.
+
+    ``features`` is either a :class:`MoveFeatures` or a
+    :class:`~repro.core.ml.features.MoveComponents` — both expose
+    ``move``, ``impacts`` and ``vector(corner_name)``.
+    """
 
     features: MoveFeatures
     target: Dict[str, float]  # corner name -> golden subtree delta (ps)
@@ -225,6 +231,7 @@ def generate_dataset(
     last_stage_fraction: float = 0.25,
     tree_case_fraction: float = 0.5,
     timer: Optional[GoldenTimer] = None,
+    feature_backend: str = "kernel",
 ) -> List[MoveSample]:
     """Generate a full training dataset (cases x sampled moves).
 
@@ -232,6 +239,12 @@ def generate_dataset(
     trees (moves sampled across all their buffers); the rest are the
     paper-style single-target bounding-box cases, a
     ``last_stage_fraction`` of which use last-stage (sink-heavy) fanout.
+
+    Each case's sampled moves featurize in one batch through a
+    :class:`CandidatePipeline` (``feature_backend`` selects the array
+    kernel or the scalar reference; both yield identical features).  A
+    fresh pipeline per case keeps the tree-scoped sink-weight memo from
+    aliasing across the generated (and garbage-collected) trees.
     """
     rng = np.random.default_rng(seed)
     timer = timer or GoldenTimer(library)
@@ -252,9 +265,10 @@ def generate_dataset(
             continue
         count = min(moves_per_case, len(moves))
         chosen = rng.choice(len(moves), size=count, replace=False)
-        for move_idx in chosen:
-            move = moves[int(move_idx)]
-            features = extract_features(case.tree, library, timings, move)
+        picked = [moves[int(move_idx)] for move_idx in chosen]
+        pipeline = CandidatePipeline(library, backend=feature_backend)
+        batch = pipeline.featurize(case.tree, timings, picked)
+        for move, features in zip(picked, batch.components):
             target = golden_subtree_delta(
                 timer, case.tree, case.legalizer, move, timings
             )

@@ -173,6 +173,10 @@ class MoveComponents:
     estimates: Dict[str, np.ndarray]  # corner name -> (4,) estimator deltas
     input_slew: Dict[str, float]  # corner name -> slew at the buffer (ps)
 
+    def vector(self, corner_name: str) -> np.ndarray:
+        """Full feature row for one corner (MoveFeatures-compatible)."""
+        return components_features(self, corner_name)
+
 
 def compute_move_components(
     tree: ClockTree,

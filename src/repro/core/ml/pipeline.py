@@ -28,6 +28,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Set, Tupl
 import numpy as np
 
 from repro.core.ml.analytical import AnalyticalCache
+from repro.core.ml.feature_kernel import FeatureKernel, FeatureKernelUnsupported
 from repro.core.ml.features import (
     MoveComponents,
     assemble_feature_matrix,
@@ -86,10 +87,24 @@ class FeatureBatch:
 class CandidatePipeline:
     """Cross-iteration cache + vectorized assembly for move featurization."""
 
-    def __init__(self, library: Library, max_cached_moves: int = 200_000) -> None:
+    def __init__(
+        self,
+        library: Library,
+        max_cached_moves: int = 200_000,
+        backend: str = "kernel",
+    ) -> None:
+        if backend not in ("kernel", "reference"):
+            raise ValueError("backend must be 'kernel' or 'reference'")
         self.library = library
         self.max_cached_moves = max_cached_moves
         self.analytical = AnalyticalCache()
+        self.kernel: FeatureKernel | None = None
+        if backend == "kernel":
+            try:
+                self.kernel = FeatureKernel(library)
+            except FeatureKernelUnsupported:
+                backend = "reference"
+        self.backend = backend
         self._components: Dict[Move, MoveComponents] = {}
         self._deps: Dict[Move, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
         self._by_local: Dict[int, Set[Move]] = {}
@@ -111,21 +126,38 @@ class CandidatePipeline:
         """Components + per-corner design matrices for ``moves``.
 
         Cached components are reused verbatim; misses are recomputed
-        through the shared analytical cache and registered against their
-        dependency nodes for later :meth:`invalidate` calls.
+        through the shared analytical cache — in one kernel batch when
+        the array backend is active, per move otherwise — and registered
+        against their dependency nodes for later :meth:`invalidate`
+        calls.
         """
-        components: List[MoveComponents] = []
+        components: List[MoveComponents | None] = []
+        miss_at: List[int] = []
+        miss_moves: List[Move] = []
         for move in moves:
             comp = self._components.get(move)
             if comp is None:
                 self.stats["move_misses"] += 1
-                comp = compute_move_components(
-                    tree, self.library, timings, move, self.analytical
-                )
-                self._remember(tree, move, comp)
+                miss_at.append(len(components))
+                miss_moves.append(move)
             else:
                 self.stats["move_hits"] += 1
             components.append(comp)
+        if miss_moves:
+            if self.kernel is not None:
+                fresh = self.kernel.compute_components_batch(
+                    tree, timings, miss_moves, self.analytical
+                )
+            else:
+                fresh = [
+                    compute_move_components(
+                        tree, self.library, timings, move, self.analytical
+                    )
+                    for move in miss_moves
+                ]
+            for slot, move, comp in zip(miss_at, miss_moves, fresh):
+                components[slot] = comp
+                self._remember(tree, move, comp)
         matrices = {
             corner.name: assemble_feature_matrix(components, corner.name)
             for corner in self.library.corners
@@ -199,9 +231,17 @@ class CandidatePipeline:
                 bucket.discard(move)
 
     # ------------------------------------------------------------------
-    def cache_stats(self) -> Dict[str, int]:
-        """Merged move-level + analytical counters (JSON-friendly)."""
-        out = dict(self.stats)
+    def cache_stats(self) -> Dict[str, object]:
+        """Merged move-level + analytical + kernel counters (JSON-friendly)."""
+        out: Dict[str, object] = dict(self.stats)
         out.update(self.analytical.stats)
+        out.update(self.analytical.hit_rates())
         out["cached_moves"] = len(self._components)
+        out["feature_backend"] = self.backend
+        if self.kernel is not None:
+            out["kernel"] = dict(self.kernel.stats)
+            out["kernel_seconds"] = {
+                name: round(secs, 6)
+                for name, secs in self.kernel.timers.seconds.items()
+            }
         return out

@@ -38,6 +38,48 @@ from repro.parallel.replica import Replica, ReplicaSpec, VerifyOutcome
 CRASH_EXIT_CODE = 13
 
 
+def effective_cpu_count() -> int:
+    """CPUs actually usable by this process (affinity-aware, >= 1).
+
+    Prefers :func:`os.process_cpu_count` (3.13+), then the scheduling
+    affinity mask, then :func:`os.cpu_count` — containers and cgroup
+    quotas shrink the first two while ``cpu_count`` reports the host.
+    """
+    probe = getattr(os, "process_cpu_count", None)
+    if probe is not None:
+        count = probe()
+        if count:
+            return count
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(len(affinity(0)), 1)
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: object) -> Tuple[int, str]:
+    """Resolve a ``LocalOptConfig.workers`` value to a pool size.
+
+    ``"auto"`` sizes the pool to the effective CPU count, degrading to
+    serial when a pool cannot win (fewer than 2 usable CPUs — the
+    0.85x-end-to-end regime ``BENCH_parallel`` measured on a 1-CPU
+    host).  Integers pass through untouched so explicit requests (e.g.
+    CI determinism jobs oversubscribing a small runner) stay exact.
+    Returns ``(effective_workers, note)``.
+    """
+    if workers == "auto":
+        cpus = effective_cpu_count()
+        if cpus < 2:
+            return 1, f"auto: {cpus} effective CPU(s) < 2, pool degraded to serial"
+        return cpus, f"auto: sized to {cpus} effective CPUs"
+    count = int(workers)  # type: ignore[arg-type]
+    if count < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return count, "explicit"
+
+
 def _resolve(fn_spec: str) -> Callable[[Any], Any]:
     module_name, _, fn_name = fn_spec.partition(":")
     if not module_name or not fn_name:

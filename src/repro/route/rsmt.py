@@ -116,6 +116,46 @@ def _mst_length(dist: np.ndarray) -> float:
     return float(total)
 
 
+def _batched_trial_lengths(
+    current: Sequence[Point], candidates: Sequence[Point]
+) -> np.ndarray:
+    """MST length of ``current + [cand]`` for every candidate at once.
+
+    Runs Prim's algorithm on all ``C`` trial point sets in lockstep —
+    every array operation applies :func:`_mst_length`'s scalar operation
+    elementwise across candidates in the same order (same argmin
+    tie-breaks, same ``minimum`` relaxations, same left-to-right adds),
+    so entry ``c`` is bit-identical to
+    ``_mst_length(_distance_matrix(current + [candidates[c]]))``.
+    """
+    xs = np.asarray([p.x for p in current])
+    ys = np.asarray([p.y for p in current])
+    base = np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+    cx = np.asarray([p.x for p in candidates])
+    cy = np.asarray([p.y for p in candidates])
+    cross = np.abs(cx[:, None] - xs[None, :]) + np.abs(cy[:, None] - ys[None, :])
+    n_cand, n = cross.shape
+    m = n + 1
+    dist = np.empty((n_cand, m, m))
+    dist[:, :n, :n] = base
+    dist[:, n, :n] = cross
+    dist[:, :n, n] = cross
+    dist[:, n, n] = 0.0
+
+    in_tree = np.zeros((n_cand, m), dtype=bool)
+    in_tree[:, 0] = True
+    best = dist[:, 0, :].copy()
+    total = np.zeros(n_cand)
+    rows = np.arange(n_cand)
+    for _ in range(m - 1):
+        masked = np.where(in_tree, np.inf, best)
+        nxt = np.argmin(masked, axis=1)
+        total = total + masked[rows, nxt]
+        in_tree[rows, nxt] = True
+        best = np.minimum(best, dist[rows, nxt, :])
+    return total
+
+
 def rectilinear_mst(points: Sequence[Point]) -> RouteTree:
     """Rectilinear minimum spanning tree over ``points`` (no Steiner points)."""
     pts = tuple(points)
@@ -151,12 +191,12 @@ def rsmt(points: Sequence[Point]) -> RouteTree:
     current = list(pts)
     current_len = _mst_length(_distance_matrix(current))
     candidates = _hanan_candidates(pts)
-    while True:
+    while candidates:
         best_gain = 1e-9
         best_point = None
-        for cand in candidates:
-            trial = current + [cand]
-            gain = current_len - _mst_length(_distance_matrix(trial))
+        trial_lengths = _batched_trial_lengths(current, candidates)
+        for cand, trial_len in zip(candidates, trial_lengths.tolist()):
+            gain = current_len - trial_len
             if gain > best_gain:
                 best_gain = gain
                 best_point = cand

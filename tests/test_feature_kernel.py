@@ -1,0 +1,391 @@
+"""Differential tests for the array-backed analytical feature kernel.
+
+``FeatureKernel`` compiles candidate-move batches into structure-of-array
+plans and evaluates every estimator variant for every corner in broadcast
+numpy.  It is contracted to be a *pure performance transform* of the
+scalar reference walk (``compute_move_components``): every impact delta,
+nominal net estimate, feature row and score must be **bit-identical** —
+not merely close — because the local optimizer's tie-breaking and the
+CI trajectory gates compare exact floats.
+
+The suite checks that contract four ways:
+
+* direct per-move component equality against the scalar path on MINI
+  (full move set) and CLS1v1 (randomized subset), all estimator
+  variants, all corners;
+* a 200+-step randomized move/undo walk where featurize / commit /
+  invalidate rounds interleave with returns to the pristine tree, so the
+  value-keyed wire memo is exercised warm, cold, and across epochs;
+* full Algorithm-2 trajectory byte-identity with the kernel on vs off,
+  serial and with a 4-worker verification pool;
+* graceful degradation — ``FeatureKernelUnsupported`` falls the
+  pipeline back to the reference backend, and unsupported moves
+  (surgery) fall back per-move inside a kernel batch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.local_opt import (
+    LocalOptConfig,
+    LocalOptimizer,
+    batched_variation_reductions,
+    predicted_variation_reduction,
+)
+from repro.core.ml.analytical import AnalyticalCache
+from repro.core.ml.feature_kernel import FeatureKernel, FeatureKernelUnsupported
+from repro.core.ml.features import (
+    ESTIMATOR_VARIANTS,
+    SIDE_EFFECT_VARIANT,
+    compute_move_components,
+)
+from repro.core.ml.pipeline import CandidatePipeline
+from repro.core.ml.training import train_predictor
+from repro.core.moves import MoveType, enumerate_moves
+from repro.core.objective import SkewVariationProblem
+from repro.parallel.pool import effective_cpu_count, resolve_workers
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.mini import build_mini
+
+# The reference path publishes both metrics for every route model it
+# evaluates — the four estimator variants, the star side-effect variant,
+# and the star/elmore by-product.
+_ROUTES = sorted({r for r, _ in (*ESTIMATOR_VARIANTS, SIDE_EFFECT_VARIANT)})
+ALL_VARIANTS = tuple((r, m) for r in _ROUTES for m in ("elmore", "d2m"))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+def _assert_net_equal(got, ref, context):
+    assert (got is None) == (ref is None), context
+    if ref is None:
+        return
+    assert got.pair_delay_ps == ref.pair_delay_ps, context
+    assert got.out_slew_ps == ref.out_slew_ps, context
+    assert got.wire_delay_ps == ref.wire_delay_ps, context
+    assert got.wire_elmore_ps == ref.wire_elmore_ps, context
+    assert got.total_load_ff == ref.total_load_ff, context
+    assert got.wirelength_um == ref.wirelength_um, context
+    assert got.fanout == ref.fanout, context
+    assert got.bbox_area_um2 == ref.bbox_area_um2, context
+    assert got.bbox_aspect == ref.bbox_aspect, context
+
+
+def _assert_components_equal(got, ref):
+    """Exact (bitwise) equality of a kernel vs reference MoveComponents."""
+    assert got.move == ref.move
+    assert set(got.impacts) == set(ref.impacts) == set(ALL_VARIANTS)
+    for variant in ALL_VARIANTS:
+        gi, ri = got.impacts[variant], ref.impacts[variant]
+        context = (ref.move, variant)
+        assert gi.subtree == ri.subtree, context
+        assert gi.old_siblings == ri.old_siblings, context
+        assert gi.new_siblings == ri.new_siblings, context
+        assert gi.subtree_wire_only == ri.subtree_wire_only, context
+        _assert_net_equal(gi.net_after, ri.net_after, context)
+        _assert_net_equal(gi.parent_net, ri.parent_net, context)
+    assert np.array_equal(got.base_row, ref.base_row), ref.move
+    assert set(got.estimates) == set(ref.estimates)
+    for name in ref.estimates:
+        assert np.array_equal(got.estimates[name], ref.estimates[name]), (
+            ref.move,
+            name,
+        )
+    assert got.input_slew == ref.input_slew, ref.move
+
+
+def _reference_components(tree, library, timings, moves):
+    cache = AnalyticalCache()
+    return [
+        compute_move_components(tree, library, timings, move, cache)
+        for move in moves
+    ]
+
+
+def _kernel_vs_reference(design, subset=None, seed=3):
+    problem = SkewVariationProblem.create(design)
+    tree = design.tree
+    result = problem.evaluate(tree.clone())
+    moves = enumerate_moves(tree, design.library)
+    if subset is not None and len(moves) > subset:
+        moves = random.Random(seed).sample(moves, subset)
+    kernel = FeatureKernel(design.library)
+    batch = kernel.compute_components_batch(
+        tree, result.per_corner, moves, AnalyticalCache()
+    )
+    reference = _reference_components(tree, design.library, result.per_corner, moves)
+    assert len(batch) == len(moves)
+    for got, ref in zip(batch, reference):
+        _assert_components_equal(got, ref)
+    return kernel, moves
+
+
+# ---------------------------------------------------------------------------
+# per-feature parity against the scalar reference
+# ---------------------------------------------------------------------------
+class TestKernelParity:
+    def test_mini_full_move_set_bit_identical(self, mini_design):
+        kernel, moves = _kernel_vs_reference(mini_design)
+        assert kernel.stats["kernel_moves"] > 0
+        # Surgery (or off-grid sizes) fall back; everything else must
+        # have gone through the array path.
+        surgeries = sum(1 for m in moves if m.type is MoveType.SURGERY)
+        assert kernel.stats["fallback_moves"] <= surgeries
+
+    def test_cls1_subset_bit_identical(self):
+        design = build_cls1(1)
+        kernel, _ = _kernel_vs_reference(design, subset=96, seed=5)
+        assert kernel.stats["kernel_moves"] > 0
+
+    def test_all_corners_covered(self, mini_design):
+        """Every corner appears in every impact dict (no broadcast slips)."""
+        problem = SkewVariationProblem.create(mini_design)
+        result = problem.evaluate(mini_design.tree.clone())
+        moves = enumerate_moves(mini_design.tree, mini_design.library)[:8]
+        kernel = FeatureKernel(mini_design.library)
+        batch = kernel.compute_components_batch(
+            mini_design.tree, result.per_corner, moves, AnalyticalCache()
+        )
+        names = {c.name for c in mini_design.library.corners}
+        assert len(names) >= 2
+        for comp in batch:
+            for variant in ALL_VARIANTS:
+                impact = comp.impacts[variant]
+                assert set(impact.subtree) == names
+                assert set(impact.old_siblings) == names
+                assert set(impact.new_siblings) == names
+                assert set(impact.subtree_wire_only) == names
+            assert set(comp.estimates) == names
+            assert set(comp.input_slew) == names
+
+    def test_wire_memo_reused_across_batches(self, mini_design):
+        problem = SkewVariationProblem.create(mini_design)
+        result = problem.evaluate(mini_design.tree.clone())
+        moves = enumerate_moves(mini_design.tree, mini_design.library)
+        kernel = FeatureKernel(mini_design.library)
+        kernel.compute_components_batch(
+            mini_design.tree, result.per_corner, moves, AnalyticalCache()
+        )
+        assert kernel.stats["wire_hits"] == 0  # cold: in-batch dedupe only
+        misses = kernel.stats["wire_misses"]
+        assert misses > 0
+        # A repeat batch reuses every compiled plan from the value-keyed
+        # memo — no new compilations, hits only.
+        kernel.compute_components_batch(
+            mini_design.tree, result.per_corner, moves, AnalyticalCache()
+        )
+        assert kernel.stats["wire_misses"] == misses
+        assert kernel.stats["wire_hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# randomized move/undo walk (200+ steps)
+# ---------------------------------------------------------------------------
+class TestRandomWalk:
+    def test_mini_walk_with_commits_and_undo(self):
+        """Kernel stays bit-identical across commits and tree restores.
+
+        Each round featurizes a random move subset through both backends
+        (byte-equal matrices + components), commits a random move, and
+        invalidates like the optimizer.  Every other round restores the
+        pristine tree ("undo"), which re-exercises the kernel's warm
+        wire memo against geometry it has already compiled under a
+        different epoch.  Total compared moves exceed 200.
+        """
+        design = build_mini()
+        problem = SkewVariationProblem.create(design)
+        pristine = design.tree.clone()
+        tree = design.tree.clone()
+        result = problem.evaluate(tree)
+        kernel_pipe = CandidatePipeline(design.library, backend="kernel")
+        ref_pipe = CandidatePipeline(design.library, backend="reference")
+        assert kernel_pipe.backend == "kernel"
+        assert ref_pipe.backend == "reference"
+        rng = random.Random(17)
+        compared = 0
+
+        def invalidate(pipe, move):
+            touched = problem.engine().last_touched
+            if touched is None:
+                pipe.flush()
+                return
+            pipe.invalidate(
+                touched_local=touched[0],
+                touched_arrival=touched[1],
+                structural=move.type is MoveType.SURGERY,
+            )
+
+        for step in range(8):
+            moves = enumerate_moves(tree, design.library)
+            subset = rng.sample(moves, min(40, len(moves)))
+            got = kernel_pipe.featurize(tree, result.per_corner, subset)
+            want = ref_pipe.featurize(tree, result.per_corner, subset)
+            for corner in design.library.corners:
+                assert np.array_equal(
+                    got.matrices[corner.name], want.matrices[corner.name]
+                ), step
+            for g, w in zip(got.components, want.components):
+                _assert_components_equal(g, w)
+            compared += len(subset)
+            if step % 2 == 0:
+                move = rng.choice(subset)
+                result = problem.commit_move(tree, move)
+                invalidate(kernel_pipe, move)
+                invalidate(ref_pipe, move)
+            else:
+                # Undo: restart from the pristine tree.  The pipelines'
+                # move caches are keyed per-epoch state, so flush; the
+                # kernel's wire memo is value-keyed and survives.
+                tree = pristine.clone()
+                result = problem.evaluate(tree)
+                kernel_pipe.flush()
+                ref_pipe.flush()
+        assert compared >= 200
+        assert kernel_pipe.kernel.stats["wire_hits"] > 0
+
+
+# ---------------------------------------------------------------------------
+# trajectory byte-identity (kernel on/off, serial and pooled)
+# ---------------------------------------------------------------------------
+class TestTrajectoryIdentity:
+    def _run(self, predictor, backend, workers=1):
+        problem = SkewVariationProblem.create(build_mini())
+        optimizer = LocalOptimizer(
+            problem,
+            predictor,
+            LocalOptConfig(
+                max_iterations=4,
+                max_batches_per_iteration=2,
+                feature_backend=backend,
+                workers=workers,
+            ),
+        )
+        outcome = optimizer.run()
+        trajectory = [
+            (h.move, h.predicted_reduction_ps, h.objective_after_ps)
+            for h in outcome.history
+        ]
+        return trajectory, outcome
+
+    def test_kernel_matches_reference_serial(self, library_cls1):
+        predictor = train_predictor(library_cls1, [], "full_rsmt_d2m")
+        kernel_traj, kernel_out = self._run(predictor, "kernel")
+        ref_traj, ref_out = self._run(predictor, "reference")
+        assert kernel_traj == ref_traj
+        assert kernel_out.final_objective_ps == ref_out.final_objective_ps
+        assert kernel_out.stats["pipeline"]["feature_backend"] == "kernel"
+        assert ref_out.stats["pipeline"]["feature_backend"] == "reference"
+
+    def test_kernel_workers4_matches_serial(self, library_cls1):
+        predictor = train_predictor(library_cls1, [], "full_rsmt_d2m")
+        serial_traj, serial_out = self._run(predictor, "kernel", workers=1)
+        pooled_traj, pooled_out = self._run(predictor, "kernel", workers=4)
+        assert serial_traj == pooled_traj
+        assert serial_out.final_objective_ps == pooled_out.final_objective_ps
+        assert pooled_out.stats["workers"]["effective"] == 4
+
+
+# ---------------------------------------------------------------------------
+# vectorized score parity
+# ---------------------------------------------------------------------------
+class TestScoreParity:
+    def test_batched_reductions_bit_equal_scalar(self, mini_design):
+        problem = SkewVariationProblem.create(mini_design)
+        tree = mini_design.tree.clone()
+        result = problem.evaluate(tree)
+        moves = enumerate_moves(tree, mini_design.library)
+        pipeline = CandidatePipeline(mini_design.library)
+        batch = pipeline.featurize(tree, result.per_corner, moves)
+        rng = np.random.default_rng(23)
+        predictions = [
+            {c.name: float(rng.normal(0.0, 3.0)) for c in mini_design.library.corners}
+            for _ in moves
+        ]
+        batched = batched_variation_reductions(
+            problem, tree, result, batch.components, predictions
+        )
+        scalar = [
+            predicted_variation_reduction(problem, tree, result, feats, pred)
+            for feats, pred in zip(batch.components, predictions)
+        ]
+        assert batched == scalar
+        assert any(r != 0.0 for r in scalar)
+
+
+# ---------------------------------------------------------------------------
+# fallbacks and degradation
+# ---------------------------------------------------------------------------
+class TestFallbacks:
+    def test_unsupported_library_falls_back_to_reference(
+        self, mini_design, monkeypatch
+    ):
+        import repro.core.ml.pipeline as pipeline_mod
+
+        class _Broken:
+            def __init__(self, *args, **kwargs):
+                raise FeatureKernelUnsupported("stub: unstackable library")
+
+        monkeypatch.setattr(pipeline_mod, "FeatureKernel", _Broken)
+        pipeline = CandidatePipeline(mini_design.library, backend="kernel")
+        assert pipeline.backend == "reference"
+        assert pipeline.kernel is None
+        # The degraded pipeline must still featurize correctly.
+        problem = SkewVariationProblem.create(mini_design)
+        result = problem.evaluate(mini_design.tree.clone())
+        moves = enumerate_moves(mini_design.tree, mini_design.library)[:6]
+        batch = pipeline.featurize(mini_design.tree, result.per_corner, moves)
+        assert len(batch.components) == len(moves)
+
+    def test_surgery_moves_use_per_move_fallback(self, mini_design):
+        problem = SkewVariationProblem.create(mini_design)
+        result = problem.evaluate(mini_design.tree.clone())
+        moves = enumerate_moves(mini_design.tree, mini_design.library)
+        surgeries = [m for m in moves if m.type is MoveType.SURGERY]
+        if not surgeries:
+            pytest.skip("MINI enumerates no surgery moves")
+        kernel = FeatureKernel(mini_design.library)
+        kernel.compute_components_batch(
+            mini_design.tree, result.per_corner, surgeries, AnalyticalCache()
+        )
+        assert kernel.stats["fallback_moves"] == len(surgeries)
+        assert kernel.stats["kernel_moves"] == 0
+
+    def test_invalid_backend_rejected(self, mini_design):
+        with pytest.raises(ValueError):
+            CandidatePipeline(mini_design.library, backend="simd")
+
+
+# ---------------------------------------------------------------------------
+# worker resolution
+# ---------------------------------------------------------------------------
+class TestResolveWorkers:
+    def test_explicit_int_passthrough(self):
+        assert resolve_workers(1) == (1, "explicit")
+        assert resolve_workers(4) == (4, "explicit")
+
+    def test_auto_sizes_to_effective_cpus(self):
+        count, note = resolve_workers("auto")
+        cpus = effective_cpu_count()
+        if cpus < 2:
+            assert count == 1
+            assert "serial" in note
+        else:
+            assert count == cpus
+            assert "auto" in note
+
+    def test_auto_degrades_to_serial_on_one_cpu(self, monkeypatch):
+        import repro.parallel.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod, "effective_cpu_count", lambda: 1)
+        count, note = resolve_workers("auto")
+        assert count == 1
+        assert "serial" in note
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)

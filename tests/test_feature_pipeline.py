@@ -203,9 +203,17 @@ class TestTrajectoryIdentity:
         outcome = optimizer.run()
         stats = outcome.stats
         assert stats is not None
-        assert set(stats) == {"stage", "pipeline", "engine", "parallel"}
+        assert set(stats) == {
+            "stage",
+            "pipeline",
+            "engine",
+            "parallel",
+            "workers",
+        }
         assert stats["parallel"] is None  # serial run: no pool engaged
+        assert stats["workers"]["effective"] == 1
         assert "featurize" in stats["stage"]["seconds"]
         assert "predict" in stats["stage"]["seconds"]
         assert stats["pipeline"] is not None
         assert stats["pipeline"]["move_misses"] > 0
+        assert stats["pipeline"]["feature_backend"] == "kernel"
