@@ -43,6 +43,18 @@ FLAGS = {
     "BENCH_kernel_smoke.json": ("kernel_identical",),
     "BENCH_eco_smoke.json": ("kernel_identical",),
     "BENCH_features_smoke.json": ("kernel_identical", "pooled_identical"),
+    "BENCH_trace_smoke.json": (
+        "schema_valid",
+        "span_tree_stable",
+        "result_identical",
+    ),
+}
+
+#: file name -> {metric: absolute ceiling}.  Ceilings are baseline-free:
+#: the metric is a bounded contract (the trace-overhead budget), not a
+#: machine-relative ratio, so the fresh value alone is gated.
+CEILINGS = {
+    "BENCH_trace_smoke.json": {"overhead_pct": 2.0},
 }
 
 
@@ -54,7 +66,7 @@ def load(path: pathlib.Path):
 def compare(baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: float):
     failures = []
     warnings = []
-    for name in sorted(set(TRACKED) | set(FLAGS)):
+    for name in sorted(set(TRACKED) | set(FLAGS) | set(CEILINGS)):
         fresh_path = fresh_dir / name
         base_path = baseline_dir / name
         if not fresh_path.exists():
@@ -64,6 +76,19 @@ def compare(baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: floa
         for flag in FLAGS.get(name, ()):
             if not fresh.get(flag, False):
                 failures.append(f"{name}: {flag} is false")
+        for metric, ceiling in CEILINGS.get(name, {}).items():
+            fresh_value = fresh.get(metric)
+            if fresh_value is None:
+                failures.append(f"{name}: fresh result lacks {metric!r}")
+                continue
+            status = "OK" if float(fresh_value) <= ceiling else "REGRESSION"
+            line = (
+                f"{name}: {metric} fresh={fresh_value:.2f} "
+                f"ceiling={ceiling:.2f} [{status}]"
+            )
+            print(line)
+            if status == "REGRESSION":
+                failures.append(line)
         if not base_path.exists():
             warnings.append(f"{name}: no committed baseline yet; skipping ratios")
             continue

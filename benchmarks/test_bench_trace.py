@@ -1,0 +1,136 @@
+"""Bench: trace-overhead contract for the observability layer.
+
+Every span site in the optimization loop goes through the process-wide
+active tracer, which defaults to a shared no-op (``NullTracer``) — so an
+untraced run pays one attribute lookup per site.  This bench runs the
+same local flow traced and untraced (best-of-N walls, fresh design per
+run so no state leaks between repetitions), and records
+
+* ``overhead_pct`` — traced wall over untraced wall, gated at <= 2% by
+  ``compare_bench.py`` (the CI perf-smoke job);
+* ``schema_valid`` — the produced trace passes ``repro.obs.schema``;
+* ``span_tree_stable`` — two traced runs yield the same canonical span
+  tree (the determinism contract, here checked run-to-run rather than
+  across worker counts).
+
+The MINI smoke variant (``-k smoke``) backs the CI gate; the CLS1v1
+variant records the full-scale number for the nightly trend artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _util import RESULTS_DIR, emit
+from repro.core.local_opt import LocalOptConfig, LocalOptimizer
+from repro.core.ml.training import train_predictor
+from repro.core.objective import SkewVariationProblem
+from repro.obs.merge import span_tree
+from repro.obs.schema import validate_events
+from repro.obs.trace import Tracer, tracing
+from repro.testcases.cls1 import build_cls1
+from repro.testcases.mini import build_mini
+
+
+def _run_once(build, max_iterations, traced):
+    """One fresh flow; returns (wall seconds of run(), trace events)."""
+    design = build()
+    problem = SkewVariationProblem.create(design)
+    predictor = train_predictor(design.library, [], "full_rsmt_d2m")
+    optimizer = LocalOptimizer(
+        problem,
+        predictor,
+        LocalOptConfig(max_iterations=max_iterations, max_batches_per_iteration=8),
+    )
+    if traced:
+        with tracing(Tracer()) as tracer:
+            t0 = time.perf_counter()
+            outcome = optimizer.run()
+            wall = time.perf_counter() - t0
+        return wall, tracer.events, outcome
+    t0 = time.perf_counter()
+    outcome = optimizer.run()
+    return time.perf_counter() - t0, None, outcome
+
+
+def _measure(build, max_iterations, repeats):
+    """Interleaved best-of-N walls for the untraced and traced flows."""
+    untraced_walls, traced_walls = [], []
+    traces = []
+    final_ps = set()
+    for rep in range(repeats):
+        # Alternate which variant runs first: walls drift as the machine
+        # warms, so a fixed order would bias whichever ran later.
+        for traced in ((False, True) if rep % 2 == 0 else (True, False)):
+            wall, events, outcome = _run_once(build, max_iterations, traced)
+            final_ps.add(round(outcome.final_objective_ps, 9))
+            if traced:
+                traced_walls.append(wall)
+                traces.append(events)
+            else:
+                untraced_walls.append(wall)
+
+    untraced = min(untraced_walls)
+    traced = min(traced_walls)
+    overhead_pct = max(0.0, 100.0 * (traced - untraced) / untraced)
+    trees = [span_tree(events) for events in traces]
+    record = {
+        "iterations": max_iterations,
+        "repeats": repeats,
+        "untraced_s": round(untraced, 4),
+        "traced_s": round(traced, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "events": len(traces[0]),
+        "span_paths": len(trees[0]),
+        "schema_valid": all(validate_events(events) == [] for events in traces),
+        "span_tree_stable": all(tree == trees[0] for tree in trees),
+        "result_identical": len(final_ps) == 1,
+    }
+    return record
+
+
+def _report(tag, design_name, record):
+    lines = [
+        f"BENCH trace ({design_name}): {record['iterations']} iterations, "
+        f"best of {record['repeats']}",
+        f"  untraced : {record['untraced_s']:8.3f} s",
+        f"  traced   : {record['traced_s']:8.3f} s "
+        f"({record['events']} events, {record['span_paths']} span paths)",
+        f"  overhead : {record['overhead_pct']:.2f}% (contract: <= 2%)",
+        f"  schema_valid={record['schema_valid']} "
+        f"span_tree_stable={record['span_tree_stable']} "
+        f"result_identical={record['result_identical']}",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def _run_bench(tag, design_name, build, max_iterations, repeats):
+    record = dict(design=design_name)
+    record.update(_measure(build, max_iterations, repeats))
+    _report(tag, design_name, record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{tag}.json").write_text(
+        json.dumps(record, indent=2, default=str) + "\n"
+    )
+    assert record["schema_valid"], record
+    assert record["span_tree_stable"], record
+    # Tracing must not change the optimization result.
+    assert record["result_identical"], record
+    return record
+
+
+def test_bench_trace_smoke():
+    """MINI-scale smoke (CI): the <= 2% gate runs in compare_bench.py."""
+    record = _run_bench("BENCH_trace_smoke", "MINI", build_mini, 3, repeats=5)
+    # In-bench guard is loose (shared CI boxes are noisy); the strict 2%
+    # ceiling is enforced on the recorded JSON by compare_bench.py.
+    assert record["overhead_pct"] < 25.0, record
+
+
+def test_bench_trace_cls1():
+    """Full-scale overhead number for the nightly trend artifacts."""
+    record = _run_bench(
+        "BENCH_trace", "CLS1v1", lambda: build_cls1(1), 4, repeats=2
+    )
+    assert record["overhead_pct"] < 25.0, record

@@ -26,8 +26,30 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import table5_row
 from repro.analysis.report import render_table
+from repro.obs import trace as obs_trace
 
 TESTCASES = ("MINI", "CLS1v1", "CLS1v2", "CLS2v1")
+
+
+def _start_trace(args: argparse.Namespace, command: str):
+    """Activate a run tracer when ``--trace-out`` was given (else None)."""
+    if not getattr(args, "trace_out", None):
+        return None
+    tracer = obs_trace.activate(obs_trace.Tracer())
+    tracer.meta(
+        command=command,
+        argv=[a for a in (sys.argv[1:] or []) if a],
+    )
+    return tracer
+
+
+def _finish_trace(tracer, path: str) -> None:
+    """Deactivate and write the run trace (no-op when untraced)."""
+    if tracer is None:
+        return
+    obs_trace.deactivate()
+    count = tracer.write(path)
+    print(f"trace written to {path} ({count} events)")
 
 
 def _workers_arg(value: str):
@@ -150,10 +172,17 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             feature_backend=args.feature_backend,
         ),
     )
+    tracer = _start_trace(args, "optimize")
     t0 = time.time()
-    result = GlobalLocalOptimizer(
-        problem, predictor, TechnologyCache(design.library), config
-    ).run(args.flow)
+    try:
+        with obs_trace.active().span(
+            "optimize", phase="cli", testcase=args.testcase, flow=args.flow
+        ):
+            result = GlobalLocalOptimizer(
+                problem, predictor, TechnologyCache(design.library), config
+            ).run(args.flow)
+    finally:
+        _finish_trace(tracer, args.trace_out)
     print(f"{args.flow} flow finished in {time.time() - t0:.0f}s")
 
     if result.global_result is not None:
@@ -246,9 +275,14 @@ def _batch_one(payload: Dict[str, Any]) -> Dict[str, Any]:
         ),
     )
     t0 = time.time()
-    result = GlobalLocalOptimizer(
-        problem, predictor, TechnologyCache(design.library), config
-    ).run(payload["flow"])
+    # Shared span site: serial batches emit this in the main lane, pooled
+    # batches in the worker lane — same tree either way.
+    with obs_trace.active().span(
+        "batch_case", phase="cli", testcase=payload["testcase"]
+    ):
+        result = GlobalLocalOptimizer(
+            problem, predictor, TechnologyCache(design.library), config
+        ).run(payload["flow"])
     base = problem.baseline.total_variation
     final = result.timing.total_variation
     return {
@@ -275,17 +309,29 @@ def cmd_batch(args: argparse.Namespace) -> int:
         for name in args.testcases
     ]
     jobs = max(1, min(args.jobs, len(payloads)))
+    tracer = _start_trace(args, "batch")
     t0 = time.time()
-    if jobs == 1:
-        results = [_batch_one(payload) for payload in payloads]
-    else:
-        with WorkerPool(jobs) as pool:
-            results = pool.call("repro.cli:_batch_one", payloads)
-        # A crashed worker forfeits its testcase; rerun it here.
-        results = [
-            result if result is not None else _batch_one(payload)
-            for payload, result in zip(payloads, results)
-        ]
+    try:
+        with obs_trace.active().span("batch", phase="cli", jobs=jobs):
+            if jobs == 1:
+                results = [_batch_one(payload) for payload in payloads]
+            else:
+                from repro.obs.merge import merge_worker_events
+
+                with WorkerPool(jobs) as pool:
+                    results = pool.call("repro.cli:_batch_one", payloads)
+                    active = obs_trace.active()
+                    if active.enabled:
+                        for obs in pool.last_call_obs:
+                            if obs is not None:
+                                merge_worker_events(active, obs[1], obs[0])
+                # A crashed worker forfeits its testcase; rerun it here.
+                results = [
+                    result if result is not None else _batch_one(payload)
+                    for payload, result in zip(payloads, results)
+                ]
+    finally:
+        _finish_trace(tracer, args.trace_out)
     rows = [
         [
             r["testcase"],
@@ -310,6 +356,37 @@ def cmd_batch(args: argparse.Namespace) -> int:
             json.dump(results, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"batch summary written to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarize a ``--trace-out`` JSONL trace (phases, hotspots, caches)."""
+    from repro.obs.merge import load_events, span_tree
+    from repro.obs.report import render_report
+    from repro.obs.schema import validate_events
+
+    events = load_events(args.trace)
+    if args.validate:
+        errors = validate_events(events)
+        if errors:
+            for error in errors:
+                print(f"{args.trace}: {error}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: schema OK ({len(events)} events)")
+    if args.compare_tree:
+        other = span_tree(load_events(args.compare_tree))
+        mine = span_tree(events)
+        if mine != other:
+            print(
+                f"span trees differ ({args.trace} vs {args.compare_tree}):",
+                file=sys.stderr,
+            )
+            for path in sorted(set(mine) ^ set(other)):
+                where = args.trace if path in mine else args.compare_tree
+                print(f"  only in {where}: {path}", file=sys.stderr)
+            return 1
+        print(f"span trees identical ({len(mine)} paths)")
+    print(render_report(events, top=args.top))
     return 0
 
 
@@ -379,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the committed-move trajectory as JSON (determinism checks)",
     )
     p_opt.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a span/metric trace of the run as JSONL (see 'repro report')",
+    )
+    p_opt.add_argument(
         "--wire-backend",
         default="kernel",
         choices=("kernel", "reference"),
@@ -414,6 +496,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--local-iterations", type=int, default=6)
     p_batch.add_argument("--buffers-per-iteration", type=int, default=24)
     p_batch.add_argument("--out", default=None, help="write summary JSON")
+    p_batch.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a span/metric trace of the batch as JSONL",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="summarize a trace file written with --trace-out"
+    )
+    p_report.add_argument("--trace", required=True, help="JSONL trace file")
+    p_report.add_argument(
+        "--top", type=int, default=10, help="hotspot rows to show"
+    )
+    p_report.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every event against the trace schema first",
+    )
+    p_report.add_argument(
+        "--compare-tree",
+        default=None,
+        help="second trace; fail unless both have the same span tree",
+    )
 
     p_train = sub.add_parser("train", help="train and score a predictor")
     p_train.add_argument("--cases", type=int, default=20)
@@ -432,6 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "optimize": cmd_optimize,
         "train": cmd_train,
         "batch": cmd_batch,
+        "report": cmd_report,
     }
     return handlers[args.command](args)
 

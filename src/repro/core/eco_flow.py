@@ -41,6 +41,7 @@ from repro.eco.operators import ArcRebuildResult, rebuild_arc
 from repro.geometry import BBox
 from repro.netlist.arcs import Arc
 from repro.netlist.tree import ClockTree
+from repro.obs.trace import active as active_tracer
 from repro.route.congestion import chain_length_factor
 from repro.sta.gate import inverter_pair_timing
 from repro.sta.incremental import IncrementalTimer
@@ -177,22 +178,27 @@ class LPGuidedECO:
             timings = self._incremental.corner_timings(tree)
         if arc_indices is None:
             arc_indices = solution.nonzero_arcs(self._config.delta_threshold_ps)
+        arc_indices = list(arc_indices)
         kernel = self._ensure_kernel()
         report: List[ArcECO] = []
-        for j in arc_indices:
-            arc = data.arcs[j]
-            targets = data.arc_delay[j] + solution.delta[j]
-            current = np.asarray(
-                [
-                    timings[c.name].arrival[arc.end]
-                    - timings[c.name].arrival[arc.start]
-                    for c in self._corners
-                ]
-            )
-            eco = self._realize_arc(tree, arc, j, targets, current, timings, kernel)
-            if eco is not None:
-                report.append(eco)
-        tree.validate()
+        with active_tracer().span("eco_realize", phase="eco") as span:
+            for j in arc_indices:
+                arc = data.arcs[j]
+                targets = data.arc_delay[j] + solution.delta[j]
+                current = np.asarray(
+                    [
+                        timings[c.name].arrival[arc.end]
+                        - timings[c.name].arrival[arc.start]
+                        for c in self._corners
+                    ]
+                )
+                eco = self._realize_arc(
+                    tree, arc, j, targets, current, timings, kernel
+                )
+                if eco is not None:
+                    report.append(eco)
+            tree.validate()
+            span.set(arcs=len(arc_indices), realized=len(report))
         return report
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.eco_flow import ECOConfig, LPGuidedECO
-from repro.core.instrument import diff_stats, merge_stats
+from repro.core.instrument import diff_stats
 from repro.core.local_opt import LocalOptConfig, LocalOptimizer, LocalOptResult
 from repro.core.lp import (
     DEFAULT_BETA,
@@ -36,6 +36,9 @@ from repro.core.lp import (
 from repro.core.ml.training import DeltaLatencyPredictor
 from repro.core.objective import SkewVariationProblem
 from repro.netlist.tree import ClockTree
+from repro.obs.merge import merge_worker_events
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import active as active_tracer
 from repro.sta.timer import TimingResult
 from repro.tech.ratio_bounds import RatioBounds, fit_all_ratio_bounds
 from repro.tech.stage_lut import StageDelayLUT, characterize_stage_luts
@@ -202,7 +205,26 @@ def realize_verified_plan(
 
     The fourth return element is the ECO backend's stats payload
     (:attr:`LPGuidedECO.stats`) for this plan's realizations.
+
+    The ``realize`` span opens here — shared by the serial path and the
+    pool workers (:func:`repro.parallel.sweep.realize_point`), so traced
+    sweeps carry the same span tree at any worker count.
     """
+    with active_tracer().span("realize", phase="eco") as span:
+        tree, result, counts, stats = _realize_verified_plan(
+            ctx, base_tree, data, solution, allow_batches
+        )
+        span.set(arcs=counts[0], committed=counts[1], reverted=counts[2])
+    return tree, result, counts, stats
+
+
+def _realize_verified_plan(
+    ctx: RealizationContext,
+    base_tree: ClockTree,
+    data,
+    solution: LPSolution,
+    allow_batches: bool,
+) -> Tuple[ClockTree, TimingResult, Tuple[int, int, int], Dict[str, object]]:
     eco = LPGuidedECO(
         ctx.library,
         ctx.stage_luts,
@@ -319,58 +341,75 @@ class GlobalOptimizer:
         total_committed = 0
         total_reverted = 0
         last_bound = 0.0
-        eco_stats: Dict[str, object] = {}
+        registry = MetricsRegistry()
+        registry.absorb({"eco": {}})  # keep the key on no-op runs
+        tracer = active_tracer()
 
-        for iteration in range(cfg.max_iterations):
-            data = build_model_data(
-                current,
-                timer,
-                problem.pairs,
-                problem.alphas,
-                self._tech.stage_luts,
-                timings=problem.corner_timings(current),
+        with tracer.span("global_opt", phase="global") as run_span:
+            for iteration in range(cfg.max_iterations):
+                with tracer.span("global_iteration", phase="global"):
+                    data = build_model_data(
+                        current,
+                        timer,
+                        problem.pairs,
+                        problem.alphas,
+                        self._tech.stage_luts,
+                        timings=problem.corner_timings(current),
+                    )
+                    lp = GlobalSkewLP(
+                        data,
+                        self._tech.ratio_bounds,
+                        beta=cfg.beta,
+                        latency_margin=cfg.latency_margin,
+                    )
+                    solutions = sweep_upper_bound(
+                        lp, cfg.sweep_factors, pool=pool
+                    )
+
+                    # First iteration: allow the batched salvage
+                    # fallback; later iterations try the one-shot plan
+                    # only (the loop itself is the recovery mechanism).
+                    allow_batches = iteration == 0
+                    realized = self._realize_sweep(
+                        ctx, pool, current, data, solutions, allow_batches
+                    )
+
+                    best_tree = None
+                    best_result = current_result
+                    best_stats = (0.0, 0, 0, 0)
+                    for (bound, _solution), (
+                        tree_u,
+                        result_u,
+                        stats,
+                        point_eco,
+                    ) in zip(solutions, realized):
+                        # Every sweep point did its candidate-search work
+                        # whether or not it wins the fold; account for
+                        # all of it.
+                        registry.absorb({"eco": point_eco})
+                        if (
+                            result_u.total_variation
+                            < best_result.total_variation
+                            - cfg.improvement_eps_ps
+                        ):
+                            best_tree = tree_u
+                            best_result = result_u
+                            best_stats = (bound, *stats)
+
+                    if best_tree is None:
+                        break
+                    current = best_tree
+                    current_result = best_result
+                    last_bound = best_stats[0]
+                    total_arcs += best_stats[1]
+                    total_committed += best_stats[2]
+                    total_reverted += best_stats[3]
+            run_span.set(
+                arcs=total_arcs,
+                committed=total_committed,
+                reverted=total_reverted,
             )
-            lp = GlobalSkewLP(
-                data,
-                self._tech.ratio_bounds,
-                beta=cfg.beta,
-                latency_margin=cfg.latency_margin,
-            )
-            solutions = sweep_upper_bound(lp, cfg.sweep_factors, pool=pool)
-
-            # First iteration: allow the batched salvage fallback; later
-            # iterations try the one-shot plan only (the loop itself is
-            # the recovery mechanism).
-            allow_batches = iteration == 0
-            realized = self._realize_sweep(
-                ctx, pool, current, data, solutions, allow_batches
-            )
-
-            best_tree = None
-            best_result = current_result
-            best_stats = (0.0, 0, 0, 0)
-            for (bound, _solution), (tree_u, result_u, stats, point_eco) in zip(
-                solutions, realized
-            ):
-                # Every sweep point did its candidate-search work whether
-                # or not it wins the fold; account for all of it.
-                merge_stats(eco_stats, point_eco)
-                if (
-                    result_u.total_variation
-                    < best_result.total_variation - cfg.improvement_eps_ps
-                ):
-                    best_tree = tree_u
-                    best_result = result_u
-                    best_stats = (bound, *stats)
-
-            if best_tree is None:
-                break
-            current = best_tree
-            current_result = best_result
-            last_bound = best_stats[0]
-            total_arcs += best_stats[1]
-            total_committed += best_stats[2]
-            total_reverted += best_stats[3]
+        registry.emit(tracer, prefix="global_opt")
 
         return GlobalOptResult(
             tree=current,
@@ -380,7 +419,7 @@ class GlobalOptimizer:
             arcs_realized=total_arcs,
             batches_committed=total_committed,
             batches_reverted=total_reverted,
-            stats={"eco": eco_stats},
+            stats=registry.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -401,6 +440,7 @@ class GlobalOptimizer:
         the fold over them is therefore identical to the serial loop's.
         """
         problem = self._problem
+        tracer = active_tracer()
         if pool is not None and pool.size > 1 and len(solutions) > 1:
             from repro.netlist.serialize import tree_from_dict
             from repro.parallel.sweep import build_realize_payload
@@ -415,29 +455,46 @@ class GlobalOptimizer:
                 "repro.parallel.sweep:realize_point", payloads
             )
             out = []
-            for (_bound, solution), result in zip(solutions, remote):
-                if result is None:  # worker crash: realize here instead
+            for index, ((bound, solution), result) in enumerate(
+                zip(solutions, remote)
+            ):
+                with tracer.span(
+                    "sweep_point", phase="global", bound=round(bound, 6)
+                ):
+                    obs = pool.last_call_obs[index]
+                    if obs is not None:
+                        # The worker's ``realize`` span hangs under this
+                        # point's span, matching the serial path's shape.
+                        merge_worker_events(tracer, obs[1], obs[0])
+                    if result is None:  # worker crash: realize here instead
+                        out.append(
+                            realize_verified_plan(
+                                ctx, current, data, solution, allow_batches
+                            )
+                        )
+                        continue
+                    tree_u = tree_from_dict(result["tree"])
+                    result_u = problem.evaluate(tree_u)
                     out.append(
-                        realize_verified_plan(
-                            ctx, current, data, solution, allow_batches
+                        (
+                            tree_u,
+                            result_u,
+                            tuple(result["stats"]),
+                            result.get("eco_stats", {}),
                         )
                     )
-                    continue
-                tree_u = tree_from_dict(result["tree"])
-                result_u = problem.evaluate(tree_u)
+            return out
+        out = []
+        for bound, solution in solutions:
+            with tracer.span(
+                "sweep_point", phase="global", bound=round(bound, 6)
+            ):
                 out.append(
-                    (
-                        tree_u,
-                        result_u,
-                        tuple(result["stats"]),
-                        result.get("eco_stats", {}),
+                    realize_verified_plan(
+                        ctx, current, data, solution, allow_batches
                     )
                 )
-            return out
-        return [
-            realize_verified_plan(ctx, current, data, solution, allow_batches)
-            for _bound, solution in solutions
-        ]
+        return out
 
 
 @dataclass(frozen=True)

@@ -3,43 +3,81 @@
 :class:`StageTimers` accumulates wall-clock time and invocation counts
 per named stage with context-manager ergonomics::
 
-    timers = StageTimers()
+    timers = StageTimers(phase="local")
     with timers.stage("featurize"):
         ...
 
 The accumulated numbers are cheap enough to leave on unconditionally;
-``LocalOptResult.stats`` and the perf benchmarks surface them.
+``LocalOptResult.stats`` and the perf benchmarks surface them.  Each
+stage additionally opens a span on the active tracer
+(:func:`repro.obs.trace.active`), so traced runs get a span per stage
+invocation for free; untraced runs hit the no-op tracer.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, Mapping, Optional
+
+from repro.obs.trace import active as _active_tracer
+
+#: Key marking a merge collision node (see :func:`merge_stats`).
+COLLISION_KEY = "__collision__"
 
 
 def _is_number(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _kind(value: object) -> str:
+    if isinstance(value, Mapping):
+        return "mapping"
+    if _is_number(value):
+        return "number"
+    return "other"
+
+
 def merge_stats(dst: Dict[str, object], src: Mapping[str, object]) -> Dict[str, object]:
     """Recursively fold ``src`` into ``dst``: numbers add, dicts merge.
 
-    Non-numeric leaves (backend names, flags) take ``src``'s value.  Used
-    to aggregate per-phase stats payloads across sweep points, workers,
-    and iterations; returns ``dst`` for chaining.
+    Non-numeric leaves of the *same* kind (backend names, flags) take
+    ``src``'s value.  A *kind* collision — a number meeting a string, a
+    dict meeting a scalar (e.g. a worker's note string landing on an int
+    counter) — is made explicit instead of silently overwriting: the
+    slot becomes ``{COLLISION_KEY: [first, second, ...]}`` so the
+    conflicting values survive for inspection and later merges append
+    to the list.  Used to aggregate per-phase stats payloads across
+    sweep points, workers, and iterations; returns ``dst`` for chaining.
     """
     for key, value in src.items():
-        if isinstance(value, Mapping):
-            node = dst.get(key)
-            if not isinstance(node, dict):
-                node = {}
+        if key not in dst:
+            if isinstance(value, Mapping):
+                node: Dict[str, object] = {}
                 dst[key] = node
-            merge_stats(node, value)
-        elif _is_number(value) and _is_number(dst.get(key)):
-            dst[key] = dst[key] + value
-        else:
+                merge_stats(node, value)
+            else:
+                dst[key] = value
+            continue
+        existing = dst[key]
+        if isinstance(existing, dict) and COLLISION_KEY in existing:
+            existing[COLLISION_KEY].append(
+                dict(value) if isinstance(value, Mapping) else value
+            )
+            continue
+        if isinstance(value, Mapping) and isinstance(existing, dict):
+            merge_stats(existing, value)
+        elif _is_number(value) and _is_number(existing):
+            dst[key] = existing + value
+        elif _kind(value) == _kind(existing):
             dst[key] = value
+        else:
+            dst[key] = {
+                COLLISION_KEY: [
+                    existing,
+                    dict(value) if isinstance(value, Mapping) else value,
+                ]
+            }
     return dst
 
 
@@ -66,21 +104,27 @@ def diff_stats(
 
 
 class StageTimers:
-    """Accumulates elapsed seconds and call counts per stage name."""
+    """Accumulates elapsed seconds and call counts per stage name.
 
-    def __init__(self) -> None:
+    ``phase`` labels the spans this accumulator mirrors onto the active
+    tracer (``None`` leaves them unlabeled).
+    """
+
+    def __init__(self, phase: Optional[str] = None) -> None:
         self.seconds: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        self.phase = phase
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-            self.counts[name] = self.counts.get(name, 0) + 1
+        with _active_tracer().span(name, phase=self.phase):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+                self.counts[name] = self.counts.get(name, 0) + 1
 
     def add(self, other: "StageTimers") -> None:
         """Merge another accumulator into this one."""

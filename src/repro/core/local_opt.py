@@ -35,6 +35,8 @@ from repro.core.ml.training import DeltaLatencyPredictor
 from repro.core.moves import Move, MoveType, enumerate_moves
 from repro.core.objective import SkewVariationProblem
 from repro.netlist.tree import ClockTree
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import active as active_tracer
 from repro.sta.skew import worst_pair_variation
 from repro.sta.timer import TimingResult
 
@@ -132,7 +134,8 @@ class LocalOptimizer:
         result = problem.evaluate(current)
         history: List[IterationRecord] = []
         initial = result.total_variation
-        timers = StageTimers()
+        timers = StageTimers(phase="local")
+        tracer = active_tracer()
         pipeline = (
             CandidatePipeline(
                 problem.design.library, backend=cfg.feature_backend
@@ -159,65 +162,85 @@ class LocalOptimizer:
             )
 
         try:
-            for iteration in range(cfg.max_iterations):
-                started = time.time()
-                ranked = self._rank_moves(current, result, pipeline, timers)
-                if not ranked:
-                    break
-                committed = False
-                evaluated = 0
-                batches = 0
-                for start in range(0, len(ranked), cfg.top_r):
-                    if batches >= cfg.max_batches_per_iteration:
-                        break
-                    batches += 1
-                    batch = ranked[start : start + cfg.top_r]
-                    with timers.stage("trial"):
-                        verdicts = self._verify_batch(
-                            verifier, current, result, batch
+            with tracer.span("local_opt", phase="local") as run_span:
+                for iteration in range(cfg.max_iterations):
+                    started = time.time()
+                    with tracer.span("iteration", phase="local"):
+                        ranked = self._rank_moves(
+                            current, result, pipeline, timers
                         )
-                        evaluated += len(batch)
-                    best = self._pick_best(verdicts, result)
-                    if best is not None:
-                        trial_tv, _degraded, predicted, features = best
-                        actual_red = result.total_variation - trial_tv
-                        with timers.stage("commit"):
-                            result = problem.commit_move(current, features.move)
-                            if verifier is not None:
-                                verifier.record_commit(features.move)
-                            if pipeline is not None:
-                                self._invalidate_pipeline(pipeline, features.move)
-                        history.append(
-                            IterationRecord(
-                                iteration=iteration,
-                                move=features.move,
-                                move_type=features.move.type,
-                                predicted_reduction_ps=predicted,
-                                actual_reduction_ps=actual_red,
-                                objective_after_ps=result.total_variation,
-                                candidates_evaluated=evaluated,
-                                elapsed_s=time.time() - started,
-                            )
-                        )
-                        committed = True
-                        break
-                if not committed:
-                    break
+                        if not ranked:
+                            break
+                        committed = False
+                        evaluated = 0
+                        batches = 0
+                        for start in range(0, len(ranked), cfg.top_r):
+                            if batches >= cfg.max_batches_per_iteration:
+                                break
+                            batches += 1
+                            batch = ranked[start : start + cfg.top_r]
+                            with timers.stage("trial"):
+                                verdicts = self._verify_batch(
+                                    verifier, current, result, batch
+                                )
+                                evaluated += len(batch)
+                            best = self._pick_best(verdicts, result)
+                            if best is not None:
+                                trial_tv, _degraded, predicted, features = best
+                                actual_red = result.total_variation - trial_tv
+                                with timers.stage("commit"):
+                                    result = problem.commit_move(
+                                        current, features.move
+                                    )
+                                    if verifier is not None:
+                                        verifier.record_commit(features.move)
+                                    if pipeline is not None:
+                                        self._invalidate_pipeline(
+                                            pipeline, features.move
+                                        )
+                                history.append(
+                                    IterationRecord(
+                                        iteration=iteration,
+                                        move=features.move,
+                                        move_type=features.move.type,
+                                        predicted_reduction_ps=predicted,
+                                        actual_reduction_ps=actual_red,
+                                        objective_after_ps=result.total_variation,
+                                        candidates_evaluated=evaluated,
+                                        elapsed_s=time.time() - started,
+                                    )
+                                )
+                                committed = True
+                                break
+                        if not committed:
+                            break
+                run_span.set(
+                    iterations=len(history),
+                    reduction_ps=round(initial - result.total_variation, 6),
+                )
         finally:
             if verifier is not None:
                 verifier.close()
 
-        stats: Dict[str, object] = {
-            "stage": timers.as_dict(),
-            "pipeline": pipeline.cache_stats() if pipeline is not None else None,
-            "engine": dict(problem.engine().stats),
-            "parallel": verifier.stats_dict() if verifier is not None else None,
-            "workers": {
+        registry = MetricsRegistry()
+        registry.absorb({"stage": timers.as_dict()})
+        registry.set(
+            "pipeline", pipeline.cache_stats() if pipeline is not None else None
+        )
+        registry.absorb({"engine": dict(problem.engine().stats)})
+        registry.set(
+            "parallel", verifier.stats_dict() if verifier is not None else None
+        )
+        registry.set(
+            "workers",
+            {
                 "requested": cfg.workers,
                 "effective": workers,
                 "note": workers_note,
             },
-        }
+        )
+        stats: Dict[str, object] = registry.snapshot()
+        registry.emit(tracer, prefix="local_opt")
         return LocalOptResult(
             tree=current,
             history=history,
@@ -266,21 +289,26 @@ class LocalOptimizer:
                 for (tv, degraded), (predicted, features) in zip(raw, batch)
             ]
         verdicts = []
-        for predicted, features in batch:
-            # Trial in place: the incremental engine re-times only the
-            # move's dirty cone, then the move is undone.
-            trial_result = problem.evaluate_move(current, features.move)
-            verdicts.append(
-                (
-                    trial_result.total_variation,
-                    trial_result.skews.degraded_local_skew(
-                        problem.baseline.skews,
-                        tol_ps=self._config.local_skew_tolerance_ps,
-                    ),
-                    predicted,
-                    features,
+        # The serial loop opens the same ``verify`` span the pool workers
+        # open in their own lanes, so traced runs produce the same span
+        # tree regardless of worker count.
+        with active_tracer().span("verify", phase="local") as span:
+            for predicted, features in batch:
+                # Trial in place: the incremental engine re-times only the
+                # move's dirty cone, then the move is undone.
+                trial_result = problem.evaluate_move(current, features.move)
+                verdicts.append(
+                    (
+                        trial_result.total_variation,
+                        trial_result.skews.degraded_local_skew(
+                            problem.baseline.skews,
+                            tol_ps=self._config.local_skew_tolerance_ps,
+                        ),
+                        predicted,
+                        features,
+                    )
                 )
-            )
+            span.set(tasks=len(batch))
         return verdicts
 
     def _pick_best(self, verdicts, current: TimingResult):

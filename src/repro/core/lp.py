@@ -36,6 +36,8 @@ from scipy.optimize import linprog
 
 from repro.netlist.arcs import Arc, extract_arcs, path_arc_indices
 from repro.netlist.tree import ClockTree
+from repro.obs.merge import merge_worker_events
+from repro.obs.trace import active as active_tracer
 from repro.sta.skew import pair_skew
 from repro.sta.timer import CornerTiming, GoldenTimer
 from repro.tech.ratio_bounds import RatioBounds
@@ -467,13 +469,21 @@ class GlobalSkewLP:
         """Pre-pass: minimize ``sum_p V_p`` to find the smallest feasible U."""
         cost = np.zeros(self._n_vars)
         cost[2 * self._n_delta :] = 1.0
-        return self._solve(cost, upper_bound=None)
+        with active_tracer().span("lp_base", phase="lp"):
+            return self._solve(cost, upper_bound=None)
 
     def minimize_changes(self, upper_bound: float) -> LPSolution:
-        """Eq. (4): minimize total |delta| subject to ``sum V <= U``."""
+        """Eq. (4): minimize total |delta| subject to ``sum V <= U``.
+
+        The span is opened here (not at the sweep call site) so pooled
+        sweeps trace the solve in the worker lane that ran it.
+        """
         cost = np.zeros(self._n_vars)
         cost[: 2 * self._n_delta] = 1.0
-        return self._solve(cost, upper_bound=upper_bound)
+        with active_tracer().span("lp_solve", phase="lp") as span:
+            solution = self._solve(cost, upper_bound=upper_bound)
+            span.set(feasible=solution.feasible)
+        return solution
 
 
 def sweep_upper_bound(
@@ -489,23 +499,32 @@ def sweep_upper_bound(
     deterministic, so remote solves match local ones); a crashed
     worker's bound is re-solved locally.
     """
-    base = lp.minimize_variation()
-    if not base.feasible:
-        return []
-    u_min = base.achieved_variation_bound
-    bounds = [u_min * factor + 1e-6 for factor in sweep_factors]
-    out: List[Tuple[float, LPSolution]] = []
-    if pool is not None and pool.size > 1 and len(bounds) > 1:
-        payloads = [(lp, bound) for bound in bounds]
-        solutions = pool.call("repro.parallel.sweep:solve_bound", payloads)
-        for bound, sol in zip(bounds, solutions):
-            if sol is None:  # worker crash: solve here instead
-                sol = lp.minimize_changes(bound)
+    tracer = active_tracer()
+    with tracer.span("lp_sweep", phase="lp") as sweep_span:
+        base = lp.minimize_variation()
+        if not base.feasible:
+            return []
+        u_min = base.achieved_variation_bound
+        bounds = [u_min * factor + 1e-6 for factor in sweep_factors]
+        out: List[Tuple[float, LPSolution]] = []
+        if pool is not None and pool.size > 1 and len(bounds) > 1:
+            payloads = [(lp, bound) for bound in bounds]
+            solutions = pool.call("repro.parallel.sweep:solve_bound", payloads)
+            for index, (bound, sol) in enumerate(zip(bounds, solutions)):
+                obs = pool.last_call_obs[index]
+                if obs is not None:
+                    # The worker's ``lp_solve`` span lands under this
+                    # ``lp_sweep`` span, where the serial path opens it.
+                    merge_worker_events(tracer, obs[1], obs[0])
+                if sol is None:  # worker crash: solve here instead
+                    sol = lp.minimize_changes(bound)
+                if sol.feasible:
+                    out.append((bound, sol))
+            sweep_span.set(points=len(out))
+            return out
+        for bound in bounds:
+            sol = lp.minimize_changes(bound)
             if sol.feasible:
                 out.append((bound, sol))
-        return out
-    for bound in bounds:
-        sol = lp.minimize_changes(bound)
-        if sol.feasible:
-            out.append((bound, sol))
+        sweep_span.set(points=len(out))
     return out

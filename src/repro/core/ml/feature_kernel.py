@@ -140,7 +140,7 @@ class FeatureKernel:
         self._capu = np.array([library.wire(c).cap_per_um for c in corners])
         self._wire_memo: Dict[tuple, _WireMetrics] = {}
         self.max_entries = 200_000
-        self.timers = StageTimers()
+        self.timers = StageTimers(phase="features")
         self.stats: Dict[str, int] = {
             "batches": 0,
             "kernel_moves": 0,

@@ -212,7 +212,7 @@ class ECOCandidateKernel:
                     if table.slew_grid.size < 2 or table.load_grid.size < 2:
                         raise ECOKernelUnsupported("degenerate NLDM axes")
 
-        self.timers = StageTimers()
+        self.timers = StageTimers(phase="eco")
         self.counters: Dict[str, int] = {
             "tables_built": 0,
             "table_hits": 0,

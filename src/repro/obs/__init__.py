@@ -1,0 +1,51 @@
+"""Unified observability layer: span tracing, metrics, worker merging.
+
+Public surface:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` context
+  managers emitting JSONL events; process-wide :func:`active` tracer
+  (a no-op :class:`NullTracer` unless a run is traced);
+* :mod:`repro.obs.metrics` — typed :class:`MetricsRegistry`
+  (counters/gauges/timers with labels) that absorbs the per-phase stats
+  payloads and emits them into traces;
+* :mod:`repro.obs.merge` — worker-lane event merging and the canonical
+  :func:`span_tree` used by the CI determinism check;
+* :mod:`repro.obs.schema` — trace event validation (v1);
+* :mod:`repro.obs.report` — the ``repro report`` renderer.
+"""
+
+from repro.obs.trace import (
+    SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    active,
+    deactivate,
+    tracing,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.merge import load_events, merge_worker_events, span_paths, span_tree
+from repro.obs.schema import validate_event, validate_events, validate_file
+from repro.obs.report import render_report, render_report_file
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "active",
+    "deactivate",
+    "tracing",
+    "MetricsRegistry",
+    "load_events",
+    "merge_worker_events",
+    "span_paths",
+    "span_tree",
+    "validate_event",
+    "validate_events",
+    "validate_file",
+    "render_report",
+    "render_report_file",
+]

@@ -1,0 +1,180 @@
+"""Typed metrics registry: counters, gauges and timers with labels.
+
+:class:`MetricsRegistry` is the single aggregation surface for the
+per-phase stats payloads that used to be hand-assembled dicts scattered
+across ``LocalOptResult``, ``GlobalOptResult``, the candidate pipeline
+and the kernel caches.  It supports two usage styles:
+
+* typed point updates — ``reg.count("pool.crashes")``,
+  ``reg.gauge("overhead_pct", 1.3)``, ``with reg.timer("featurize"): ...``;
+* bulk absorption — ``reg.absorb({"eco": eco_stats})`` folds an existing
+  nested stats dict in with :func:`repro.core.instrument.merge_stats`
+  semantics (numbers add, dicts merge, kind collisions become explicit).
+
+``snapshot()`` returns the nested JSON-ready dict the result objects
+expose as ``.stats`` (shape-compatible with the pre-registry payloads),
+and ``emit()`` streams every numeric leaf into a tracer as ``metric``
+events so trace files carry the run's counters alongside its spans.
+"""
+
+from __future__ import annotations
+
+import copy
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+_LabelKey = Tuple[Tuple[str, object], ...]
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class MetricsRegistry:
+    """Nested, typed metric store addressed by dotted paths."""
+
+    def __init__(self) -> None:
+        self._root: Dict[str, object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._labeled: Dict[Tuple[str, _LabelKey], float] = {}
+        self._labeled_kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Path plumbing
+    # ------------------------------------------------------------------
+    def _node(self, path: List[str]) -> Dict[str, object]:
+        node = self._root
+        for part in path:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                child = {}
+                node[part] = child
+            node = child
+        return node
+
+    def _put(self, name: str, value: object, kind: str, add: bool) -> None:
+        parts = name.split(".")
+        node = self._node(parts[:-1])
+        leaf = parts[-1]
+        if add and _is_number(node.get(leaf)) and _is_number(value):
+            node[leaf] = node[leaf] + value
+        else:
+            node[leaf] = value
+        self._kinds[name] = kind
+
+    # ------------------------------------------------------------------
+    # Typed updates
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        """Monotonic counter: adds ``value`` (default 1)."""
+        if labels:
+            self._labeled_update(name, value, "counter", labels, add=True)
+            return
+        self._put(name, value, "counter", add=True)
+
+    def gauge(self, name: str, value: object, **labels: object) -> None:
+        """Gauge: last write wins."""
+        if labels:
+            self._labeled_update(name, value, "gauge", labels, add=False)
+            return
+        self._put(name, value, "gauge", add=False)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Timer: accumulates ``<name>.seconds`` and ``<name>.count``."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self._put(f"{name}.seconds", elapsed, "timer", add=True)
+            self._put(f"{name}.count", 1, "timer", add=True)
+
+    def set(self, name: str, value: object) -> None:
+        """Raw set: used for non-numeric payloads (notes, None markers)."""
+        self._put(name, value, "gauge", add=False)
+
+    def _labeled_update(
+        self, name: str, value: object, kind: str, labels: Mapping[str, object],
+        add: bool,
+    ) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        if add and _is_number(self._labeled.get(key)) and _is_number(value):
+            self._labeled[key] = self._labeled[key] + value  # type: ignore[operator]
+        else:
+            self._labeled[key] = value  # type: ignore[assignment]
+        self._labeled_kinds[name] = kind
+
+    # ------------------------------------------------------------------
+    # Bulk absorption of legacy stats payloads
+    # ------------------------------------------------------------------
+    def absorb(self, payload: Mapping[str, object], prefix: str = "") -> None:
+        """Fold a nested stats dict in (numbers add, dicts merge).
+
+        Uses :func:`repro.core.instrument.merge_stats`, so repeated
+        absorption across sweep points / iterations / workers aggregates
+        exactly the way the pre-registry code did — including the
+        explicit collision marker on kind mismatches.
+        """
+        from repro.core.instrument import merge_stats
+
+        node = self._node(prefix.split(".")) if prefix else self._root
+        merge_stats(node, payload)
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Deep-copied nested dict of everything absorbed/recorded."""
+        return copy.deepcopy(self._root)
+
+    def metrics(self) -> List[Tuple[str, str, float]]:
+        """Flat, sorted ``(dotted_name, kind, value)`` numeric leaves."""
+        out: List[Tuple[str, str, float]] = []
+
+        def walk(node: Mapping[str, object], path: str) -> None:
+            for key in sorted(node, key=str):
+                value = node[key]
+                name = f"{path}.{key}" if path else str(key)
+                if isinstance(value, Mapping):
+                    walk(value, name)
+                elif _is_number(value):
+                    kind = self._kinds.get(
+                        name, "counter" if isinstance(value, int) else "gauge"
+                    )
+                    if kind not in ("counter", "gauge", "timer"):
+                        kind = "gauge"
+                    out.append((name, kind, value))
+
+        walk(self._root, "")
+        return out
+
+    def labeled_metrics(
+        self,
+    ) -> List[Tuple[str, str, float, Dict[str, object]]]:
+        """Flat ``(name, kind, value, labels)`` for labeled series."""
+        out = []
+        for (name, label_key), value in sorted(
+            self._labeled.items(), key=lambda item: (item[0][0], str(item[0][1]))
+        ):
+            if _is_number(value):
+                out.append(
+                    (name, self._labeled_kinds[name], value, dict(label_key))
+                )
+        return out
+
+    def emit(self, tracer, prefix: Optional[str] = None) -> int:
+        """Stream every numeric metric into ``tracer``; returns the count."""
+        if not getattr(tracer, "enabled", False):
+            return 0
+        emitted = 0
+        for name, kind, value in self.metrics():
+            full = f"{prefix}.{name}" if prefix else name
+            tracer.metric(full, value, kind=kind)
+            emitted += 1
+        for name, kind, value, labels in self.labeled_metrics():
+            full = f"{prefix}.{name}" if prefix else name
+            tracer.metric(full, value, kind=kind, labels=labels)
+            emitted += 1
+        return emitted

@@ -25,6 +25,7 @@ keeps their float state bit-identical to the survivors'.
 from __future__ import annotations
 
 import importlib
+import itertools
 import multiprocessing
 import os
 import time
@@ -32,10 +33,17 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.moves import Move
+from repro.obs import trace as obs_trace
 from repro.parallel.replica import Replica, ReplicaSpec, VerifyOutcome
 
 #: Exit code used by the test-only ``crash`` request.
 CRASH_EXIT_CODE = 13
+
+#: Process-global observability lane allocator.  Lane 0 is the main
+#: process; every spawned worker (across *all* pools in this process,
+#: including respawns) gets a fresh lane id so merged traces never
+#: collide on (lane, span-id) keys.
+_LANE_COUNTER = itertools.count(1)
 
 
 def effective_cpu_count() -> int:
@@ -87,8 +95,14 @@ def _resolve(fn_spec: str) -> Callable[[Any], Any]:
     return getattr(importlib.import_module(module_name), fn_name)
 
 
-def _worker_main(conn, spec: Optional[ReplicaSpec]) -> None:
-    """Worker loop: build the replica once, then serve until told to exit."""
+def _worker_main(conn, spec: Optional[ReplicaSpec], lane: int = 0) -> None:
+    """Worker loop: build the replica once, then serve until told to exit.
+
+    The worker traces into its own observability lane and ships the
+    drained span/metric events with every response — the parent merges
+    them into the run trace (or discards them when tracing is off).
+    """
+    tracer = obs_trace.activate(obs_trace.Tracer(worker=lane))
     replica = Replica(spec) if spec is not None else None
     while True:
         try:
@@ -102,40 +116,45 @@ def _worker_main(conn, spec: Optional[ReplicaSpec]) -> None:
             os._exit(CRASH_EXIT_CODE)
         try:
             if op == "ping":
-                conn.send(("ok", replica.applied if replica else None))
+                result: Any = replica.applied if replica else None
             elif op == "verify":
                 _, deltas, first_index, tasks = message
                 if replica is None:
                     raise RuntimeError("pool has no replica spec")
-                replica.sync(deltas, first_index)
-                outcomes: List[VerifyOutcome] = []
-                for index, move, corner_names in tasks:
-                    if corner_names is None:
-                        outcomes.append(replica.verify(index, move))
-                    else:
-                        outcomes.append(
-                            replica.verify_corners(index, move, corner_names)
-                        )
-                conn.send(("ok", outcomes))
+                with tracer.span("verify", phase="local") as span:
+                    replica.sync(deltas, first_index)
+                    outcomes: List[VerifyOutcome] = []
+                    for index, move, corner_names in tasks:
+                        if corner_names is None:
+                            outcomes.append(replica.verify(index, move))
+                        else:
+                            outcomes.append(
+                                replica.verify_corners(index, move, corner_names)
+                            )
+                    span.set(tasks=len(tasks), synced=len(deltas))
+                result = outcomes
             elif op == "call":
                 _, fn_spec, payload = message
-                conn.send(("ok", _resolve(fn_spec)(payload)))
+                result = _resolve(fn_spec)(payload)
             else:
                 raise ValueError(f"unknown op {op!r}")
+            conn.send(("ok", result, tracer.drain()))
         except Exception:
-            conn.send(("err", traceback.format_exc()))
+            conn.send(("err", traceback.format_exc(), tracer.drain()))
 
 
 class _WorkerHandle:
     """One worker process plus its pipe and delta-sync watermark."""
 
-    __slots__ = ("process", "conn", "synced", "alive")
+    __slots__ = ("process", "conn", "synced", "alive", "lane", "last_events")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, lane: int) -> None:
         self.process = process
         self.conn = conn
         self.synced = 0  # committed-move deltas this worker has replayed
         self.alive = True
+        self.lane = lane  # observability lane id (unique per process)
+        self.last_events: List[Dict[str, object]] = []
 
 
 class WorkerCrash(RuntimeError):
@@ -177,6 +196,13 @@ class WorkerPool:
             "verify_wall_s": 0.0,
             "worker_busy_s": 0.0,
         }
+        #: Worker trace deltas from the most recent request, as
+        #: ``(lane, events)`` — per engaged worker for ``verify_batch``,
+        #: aligned with payload order (``None`` = crashed/orphaned) for
+        #: ``call``.  Callers holding an active tracer merge these via
+        #: :func:`repro.obs.merge.merge_worker_events`.
+        self.last_verify_obs: List[Tuple[int, List[Dict[str, object]]]] = []
+        self.last_call_obs: List[Optional[Tuple[int, List[Dict[str, object]]]]] = []
         self._spawn_missing()
 
     # ------------------------------------------------------------------
@@ -187,15 +213,16 @@ class WorkerPool:
         return self._size
 
     def _spawn_one(self) -> _WorkerHandle:
+        lane = next(_LANE_COUNTER)
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._spec),
+            args=(child_conn, self._spec, lane),
             daemon=True,
         )
         process.start()
         child_conn.close()
-        return _WorkerHandle(process, parent_conn)
+        return _WorkerHandle(process, parent_conn, lane)
 
     def _spawn_missing(self) -> None:
         """Respawn dead workers until the pool is at full strength."""
@@ -254,10 +281,11 @@ class WorkerPool:
 
     def _recv(self, worker: _WorkerHandle) -> Any:
         try:
-            status, payload = worker.conn.recv()
+            status, payload, events = worker.conn.recv()
         except (EOFError, OSError) as exc:
             self._mark_dead(worker)
             raise WorkerCrash(str(exc)) from exc
+        worker.last_events = events
         if status == "err":
             raise WorkerError(payload)
         return payload
@@ -345,12 +373,15 @@ class WorkerPool:
 
         shards: Dict[int, List[VerifyOutcome]] = {}
         failed: set = set()
+        self.last_verify_obs = []
         for worker, plan in engaged:
             try:
                 outcomes = self._recv(worker)
             except WorkerCrash:
                 failed.update(index for index, _, _ in plan)
                 continue
+            if worker.last_events:
+                self.last_verify_obs.append((worker.lane, worker.last_events))
             worker.synced = len(self._deltas)
             for outcome in outcomes:
                 shards.setdefault(outcome.index, []).append(outcome)
@@ -389,6 +420,7 @@ class WorkerPool:
             assignments[position % len(self._workers)].append(position)
 
         results: List[Optional[Any]] = [None] * len(payloads)
+        self.last_call_obs = [None] * len(payloads)
         # Round-robin queues: send one payload per worker, receive, send
         # the next, so a worker crash costs only its in-flight payload.
         pending = [list(queue) for queue in assignments]
@@ -406,6 +438,8 @@ class WorkerPool:
                     results[position] = self._recv(worker)
                 except WorkerCrash:
                     continue
+                if worker.last_events:
+                    self.last_call_obs[position] = (worker.lane, worker.last_events)
                 if pending[worker_index]:
                     nxt = pending[worker_index].pop(0)
                     if self._send(

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.moves import Move
 from repro.netlist.tree import ClockTree
+from repro.obs.merge import merge_worker_events
+from repro.obs.trace import active as active_tracer
 from repro.parallel.pool import WorkerPool
 from repro.parallel.replica import ReplicaSpec, merge_sharded_outcome
 
@@ -49,6 +51,13 @@ class ParallelVerifier:
     ) -> List[Verdict]:
         """Verify ``moves`` against the current state, in batch order."""
         gathered = self._pool.verify_batch(moves)
+        tracer = active_tracer()
+        if tracer.enabled:
+            # Hang each worker's ``verify`` span under the span that
+            # issued this fan-out (the local loop's ``trial`` stage), so
+            # the merged tree matches the serial run's shape.
+            for lane, events in self._pool.last_verify_obs:
+                merge_worker_events(tracer, events, lane)
         verdicts: List[Verdict] = []
         for move, shards in zip(moves, gathered):
             if shards is None:

@@ -66,3 +66,103 @@ class TestCommands:
         assert out_file.exists()
         out = capsys.readouterr().out
         assert "reduction" in out
+
+
+class TestTraceCLI:
+    """``--trace-out`` round-trips and the ``report`` subcommand."""
+
+    @pytest.fixture
+    def data_dir(self):
+        import pathlib
+
+        return pathlib.Path(__file__).parent / "data"
+
+    def test_optimize_parser_accepts_trace_out(self):
+        args = build_parser().parse_args(["optimize", "--trace-out", "t.jsonl"])
+        assert args.trace_out == "t.jsonl"
+
+    def test_batch_parser_accepts_trace_out(self):
+        args = build_parser().parse_args(["batch", "--trace-out", "t.jsonl"])
+        assert args.trace_out == "t.jsonl"
+
+    def test_report_parser_defaults(self):
+        args = build_parser().parse_args(["report", "--trace", "t.jsonl"])
+        assert args.top == 10
+        assert args.validate is False
+        assert args.compare_tree is None
+
+    def test_report_requires_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_report_golden_output(self, capsys, data_dir):
+        # The committed MINI trace has a byte-stable report: rendering is
+        # a pure function of the trace file.
+        trace = str(data_dir / "mini_trace.jsonl")
+        golden = (data_dir / "mini_trace_report.txt").read_text()
+        assert main(["report", "--trace", trace]) == 0
+        assert capsys.readouterr().out == golden
+
+    def test_report_validate_and_compare_self(self, capsys, data_dir):
+        trace = str(data_dir / "mini_trace.jsonl")
+        code = main(
+            ["report", "--trace", trace, "--validate", "--compare-tree", trace]
+        )
+        assert code == 0
+
+    def test_report_validate_rejects_bad_trace(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "bogus", "ts": 0.0, "worker": 0}\n')
+        assert main(["report", "--trace", str(bad), "--validate"]) == 1
+        assert "bad type" in capsys.readouterr().err
+
+    def test_report_compare_tree_mismatch(self, capsys, tmp_path, data_dir):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        with tracer.span("something_else"):
+            pass
+        other = tmp_path / "other.jsonl"
+        tracer.write(str(other))
+        code = main(
+            [
+                "report",
+                "--trace",
+                str(data_dir / "mini_trace.jsonl"),
+                "--compare-tree",
+                str(other),
+            ]
+        )
+        assert code == 1
+        assert "something_else" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_batch_trace_out_round_trip(self, capsys, tmp_path):
+        from repro.obs.merge import load_events, span_tree
+        from repro.obs.schema import validate_file
+
+        trace = tmp_path / "batch.jsonl"
+        code = main(
+            [
+                "batch",
+                "--testcases",
+                "MINI",
+                "--flow",
+                "local",
+                "--jobs",
+                "1",
+                "--local-iterations",
+                "1",
+                "--buffers-per-iteration",
+                "8",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        assert validate_file(str(trace)) == []
+        tree = span_tree(load_events(str(trace)))
+        assert "batch" in tree
+        assert "batch/batch_case" in tree
+        assert any(path.endswith("/local_opt") for path in tree)

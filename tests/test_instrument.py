@@ -1,0 +1,158 @@
+"""Unit coverage for :mod:`repro.core.instrument`.
+
+The merge-collision regression: ``merge_stats`` used to silently
+overwrite a non-numeric leaf when the incoming value had a different
+kind (a worker's note string landing on an int counter, a dict landing
+on a scalar).  Collisions are now explicit ``{"__collision__": [...]}``
+nodes that keep every conflicting value.
+"""
+
+import pytest
+
+from repro.core.instrument import (
+    COLLISION_KEY,
+    StageTimers,
+    diff_stats,
+    merge_stats,
+)
+
+
+class TestMergeStats:
+    def test_numbers_add(self):
+        dst = {"a": 1, "b": 2.5}
+        merge_stats(dst, {"a": 2, "b": 0.5})
+        assert dst == {"a": 3, "b": 3.0}
+
+    def test_dicts_merge_recursively(self):
+        dst = {"outer": {"x": 1, "inner": {"y": 2}}}
+        merge_stats(dst, {"outer": {"x": 4, "inner": {"y": 5, "z": 6}}})
+        assert dst == {"outer": {"x": 5, "inner": {"y": 7, "z": 6}}}
+
+    def test_missing_keys_deep_copied(self):
+        src = {"nested": {"count": 1}}
+        dst = {}
+        merge_stats(dst, src)
+        dst["nested"]["count"] += 10
+        assert src["nested"]["count"] == 1  # src must not alias dst
+
+    def test_same_kind_non_numeric_src_wins(self):
+        dst = {"backend": "reference", "flag": True}
+        merge_stats(dst, {"backend": "kernel", "flag": False})
+        assert dst["backend"] == "kernel"
+        assert dst["flag"] is False
+
+    def test_kind_mismatch_becomes_explicit_collision(self):
+        # Regression: a string landing on a number used to silently
+        # replace it; both values must survive.
+        dst = {"note": 3}
+        merge_stats(dst, {"note": "pool degraded to serial"})
+        assert dst["note"] == {COLLISION_KEY: [3, "pool degraded to serial"]}
+
+    def test_dict_vs_scalar_collision(self):
+        dst = {"workers": {"effective": 4}}
+        merge_stats(dst, {"workers": 4})
+        assert dst["workers"] == {COLLISION_KEY: [{"effective": 4}, 4]}
+
+    def test_scalar_vs_dict_collision(self):
+        dst = {"workers": 4}
+        merge_stats(dst, {"workers": {"effective": 4}})
+        assert dst["workers"] == {COLLISION_KEY: [4, {"effective": 4}]}
+
+    def test_collision_node_appends_on_later_merges(self):
+        dst = {"note": 3}
+        merge_stats(dst, {"note": "first"})
+        merge_stats(dst, {"note": "second"})
+        merge_stats(dst, {"note": {"nested": 1}})
+        assert dst["note"] == {
+            COLLISION_KEY: [3, "first", "second", {"nested": 1}]
+        }
+
+    def test_bool_is_not_a_number(self):
+        # booleans are int subclasses; they must not be summed.
+        dst = {"flag": True}
+        merge_stats(dst, {"flag": True})
+        assert dst["flag"] is True
+
+    def test_returns_dst_for_chaining(self):
+        dst = {}
+        assert merge_stats(dst, {"a": 1}) is dst
+
+
+class TestDiffStats:
+    def test_flat_numeric_delta(self):
+        assert diff_stats({"a": 5, "b": 2.5}, {"a": 3, "b": 1.0}) == {
+            "a": 2,
+            "b": 1.5,
+        }
+
+    def test_nested_delta(self):
+        new = {"counters": {"built": 10, "hits": 4}, "timers": {"s": 2.0}}
+        old = {"counters": {"built": 7, "hits": 1}, "timers": {"s": 0.5}}
+        assert diff_stats(new, old) == {
+            "counters": {"built": 3, "hits": 3},
+            "timers": {"s": 1.5},
+        }
+
+    def test_missing_old_keys_count_from_zero(self):
+        assert diff_stats({"a": 5, "deep": {"b": 2}}, {}) == {
+            "a": 5,
+            "deep": {"b": 2},
+        }
+
+    def test_non_numeric_keeps_new_value(self):
+        assert diff_stats({"backend": "kernel"}, {"backend": "reference"}) == {
+            "backend": "kernel"
+        }
+
+    def test_old_scalar_under_new_mapping(self):
+        # A kind change between snapshots: the new mapping diffs against
+        # an empty old mapping rather than crashing.
+        assert diff_stats({"x": {"n": 3}}, {"x": 7}) == {"x": {"n": 3}}
+
+
+class TestStageTimers:
+    def test_accumulates_seconds_and_counts(self):
+        timers = StageTimers()
+        for _ in range(3):
+            with timers.stage("work"):
+                pass
+        assert timers.counts["work"] == 3
+        assert timers.seconds["work"] >= 0.0
+
+    def test_add_merges(self):
+        a = StageTimers()
+        b = StageTimers()
+        with a.stage("x"):
+            pass
+        with b.stage("x"):
+            pass
+        with b.stage("y"):
+            pass
+        a.add(b)
+        assert a.counts == {"x": 2, "y": 1}
+
+    def test_as_dict_shape(self):
+        timers = StageTimers(phase="local")
+        with timers.stage("s"):
+            pass
+        payload = timers.as_dict()
+        assert set(payload) == {"seconds", "counts"}
+        assert payload["counts"] == {"s": 1}
+
+    def test_stage_mirrors_span_to_active_tracer(self):
+        from repro.obs.trace import Tracer, tracing
+
+        with tracing(Tracer()) as tracer:
+            timers = StageTimers(phase="demo")
+            with timers.stage("featurize"):
+                pass
+        starts = [e for e in tracer.events if e["type"] == "span_start"]
+        assert [e["name"] for e in starts] == ["featurize"]
+        assert starts[0]["phase"] == "demo"
+
+    def test_exception_still_recorded(self):
+        timers = StageTimers()
+        with pytest.raises(RuntimeError):
+            with timers.stage("boom"):
+                raise RuntimeError("boom")
+        assert timers.counts["boom"] == 1
