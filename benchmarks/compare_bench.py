@@ -31,6 +31,7 @@ TRACKED = {
     "BENCH_timer_smoke.json": ("speedup",),
     "BENCH_localopt_smoke.json": ("speedup",),
     "BENCH_parallel_smoke.json": (),
+    "BENCH_pool_smoke.json": (),
     "BENCH_kernel_smoke.json": ("speedup",),
     "BENCH_eco_smoke.json": ("speedup",),
     "BENCH_features_smoke.json": ("speedup",),
@@ -40,6 +41,7 @@ TRACKED = {
 FLAGS = {
     "BENCH_localopt_smoke.json": ("trajectory_identical",),
     "BENCH_parallel_smoke.json": ("trajectory_identical",),
+    "BENCH_pool_smoke.json": ("verdicts_identical",),
     "BENCH_kernel_smoke.json": ("kernel_identical",),
     "BENCH_eco_smoke.json": ("kernel_identical",),
     "BENCH_features_smoke.json": ("kernel_identical", "pooled_identical"),
@@ -57,6 +59,17 @@ CEILINGS = {
     "BENCH_trace_smoke.json": {"overhead_pct": 2.0},
 }
 
+#: file name -> {metric: absolute minimum}.  Floors are baseline-free
+#: like ceilings, but lower bounds: the metric is a structural speedup
+#: (work the optimization removes outright, not a machine-relative
+#: ratio), so the fresh value must clear the acceptance bar on its own.
+FLOORS = {
+    "BENCH_pool_smoke.json": {
+        "verify_epoch_speedup": 2.0,
+        "respawn_speedup": 5.0,
+    },
+}
+
 
 def load(path: pathlib.Path):
     with open(path) as handle:
@@ -66,7 +79,7 @@ def load(path: pathlib.Path):
 def compare(baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: float):
     failures = []
     warnings = []
-    for name in sorted(set(TRACKED) | set(FLAGS) | set(CEILINGS)):
+    for name in sorted(set(TRACKED) | set(FLAGS) | set(CEILINGS) | set(FLOORS)):
         fresh_path = fresh_dir / name
         base_path = baseline_dir / name
         if not fresh_path.exists():
@@ -85,6 +98,19 @@ def compare(baseline_dir: pathlib.Path, fresh_dir: pathlib.Path, tolerance: floa
             line = (
                 f"{name}: {metric} fresh={fresh_value:.2f} "
                 f"ceiling={ceiling:.2f} [{status}]"
+            )
+            print(line)
+            if status == "REGRESSION":
+                failures.append(line)
+        for metric, floor in FLOORS.get(name, {}).items():
+            fresh_value = fresh.get(metric)
+            if fresh_value is None:
+                failures.append(f"{name}: fresh result lacks {metric!r}")
+                continue
+            status = "OK" if float(fresh_value) >= floor else "REGRESSION"
+            line = (
+                f"{name}: {metric} fresh={fresh_value:.2f} "
+                f"floor={floor:.2f} [{status}]"
             )
             print(line)
             if status == "REGRESSION":

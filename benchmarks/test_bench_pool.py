@@ -1,0 +1,177 @@
+"""Bench: pipe vs shm worker-pool backends (zero-copy backplane).
+
+The shm backend attacks the pool's two fixed costs head-on:
+
+* **worker bring-up** — a pipe worker unpickles the replica spec and
+  runs a full compile + propagation (``ensure``); an shm worker maps
+  the published arena and *adopts* the compiled SoA planes zero-copy,
+  so respawn after a crash is milliseconds instead of a rebuild;
+* **small-batch scheduling** — the pipe gather corner-shards when
+  workers outnumber the batch, which multiplies kernel-path work by the
+  group count (the kernel retimes every corner regardless); the shm
+  event loop streams whole-candidate tasks with work-stealing refill
+  and requeues a crashed worker's in-flight tasks instead of falling
+  back to serial re-verification.
+
+This bench runs one cold **epoch** per backend on CLS1v1 at 4 workers
+— verifier construction (pool bring-up), a mixed batch schedule with a
+sharded-regime tail, one mid-epoch crash — and measures dedicated
+respawn-to-ready times.  Verdicts must be value-identical between the
+backends (and therefore to serial — the pipe backend's contract covers
+that).  Acceptance floors, asserted here and gated baseline-free by
+``compare_bench.py``: **>= 2x** epoch speedup and **>= 5x** respawn
+speedup.  Both floors come from costs the backplane removes outright
+(rebuild work, corner-shard duplication), so they hold on 1-CPU
+runners as well as multi-core boxes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _util import RESULTS_DIR, emit
+from repro.core.moves import enumerate_moves
+from repro.core.objective import SkewVariationProblem
+from repro.parallel import ParallelVerifier
+from repro.testcases.cls1 import build_cls1
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _respawn_to_ready_s(pool, reps: int) -> float:
+    """Average crash -> respawned-worker-serving time.
+
+    The clock covers spawn through the first answered request, so it
+    includes everything a fresh worker does before it is useful: pipe =
+    rebuild the replica (compile + full propagation); shm = map the
+    arena and adopt the published planes.
+    """
+    times = []
+    for _ in range(reps):
+        pool._mark_dead(pool._workers[0])
+        t0 = time.perf_counter()
+        pool._spawn_missing()
+        worker = pool._workers[-1]
+        worker.conn.send(("ping",))
+        pool._recv(worker)
+        times.append(time.perf_counter() - t0)
+    return sum(times) / len(times)
+
+
+def _epoch(backend: str, workers: int, schedule, respawn_reps: int):
+    """One cold epoch: bring-up + batch schedule + crash recovery."""
+    design = build_cls1(1)
+    problem = SkewVariationProblem.create(design)
+    tree = design.tree.clone()
+    problem.evaluate(tree)
+    moves = enumerate_moves(tree, design.library)
+
+    t0 = time.perf_counter()
+    verifier = ParallelVerifier(problem, tree, workers=workers, backend=backend)
+    verdicts = []
+    for step, size in enumerate(schedule):
+        batch = [moves[(step * 7 + j) % len(moves)] for j in range(size)]
+        if step == len(schedule) // 2:
+            # Arm one worker to die with its next task in flight: pipe
+            # forfeits its shards to serial fallback, shm requeues.
+            verifier._pool.crash_worker_after(0, 0)
+        verdicts.append(verifier.verify_batch(tree, batch))
+    epoch_s = time.perf_counter() - t0
+    stats = verifier.stats_dict()
+    respawn_s = _respawn_to_ready_s(verifier._pool, respawn_reps)
+    verifier.close()
+    return {
+        "design": design.name,
+        "corners": [c.name for c in design.library.corners],
+        "epoch_s": epoch_s,
+        "respawn_s": respawn_s,
+        "verdicts": verdicts,
+        "stats": stats,
+    }
+
+
+def _run_comparison(workers: int, schedule, respawn_reps: int):
+    pipe = _epoch("pipe", workers, schedule, respawn_reps)
+    shm = _epoch("shm", workers, schedule, respawn_reps)
+    record = {
+        "design": pipe["design"],
+        "corners": pipe["corners"],
+        "cpus": _available_cpus(),
+        "workers": workers,
+        "schedule": list(schedule),
+        "pipe_epoch_s": round(pipe["epoch_s"], 4),
+        "shm_epoch_s": round(shm["epoch_s"], 4),
+        "verify_epoch_speedup": round(pipe["epoch_s"] / shm["epoch_s"], 2),
+        "pipe_respawn_s": round(pipe["respawn_s"], 4),
+        "shm_respawn_s": round(shm["respawn_s"], 4),
+        "respawn_speedup": round(pipe["respawn_s"] / shm["respawn_s"], 2),
+        "verdicts_identical": pipe["verdicts"] == shm["verdicts"],
+        "shm_serial_fallbacks": shm["stats"]["serial_fallbacks"],
+        "shm_requeued": shm["stats"]["requeued"],
+        "arena_generation": shm["stats"]["arena_generation"],
+        "arena_bytes": shm["stats"]["arena_bytes"],
+        "pipe_stats": pipe["stats"],
+        "shm_stats": shm["stats"],
+    }
+    return record
+
+
+def _report(tag, record):
+    lines = [
+        f"BENCH pool ({record['design']}): pipe vs shm backend, "
+        f"{record['workers']} workers on {record['cpus']} CPU(s), "
+        f"schedule {record['schedule']}",
+        f"  epoch   : pipe {record['pipe_epoch_s']:8.3f} s | "
+        f"shm {record['shm_epoch_s']:8.3f} s -> "
+        f"{record['verify_epoch_speedup']:.2f}x",
+        f"  respawn : pipe {record['pipe_respawn_s']:8.4f} s | "
+        f"shm {record['shm_respawn_s']:8.4f} s -> "
+        f"{record['respawn_speedup']:.2f}x",
+        f"  arena   : gen {record['arena_generation']}, "
+        f"{record['arena_bytes']} bytes shared, "
+        f"{record['shm_requeued']} requeued, "
+        f"{record['shm_serial_fallbacks']} serial fallbacks "
+        f"(verdicts identical: {record['verdicts_identical']})",
+    ]
+    emit(tag, "\n".join(lines))
+
+
+def _check(record):
+    assert record["verdicts_identical"], record
+    assert record["shm_serial_fallbacks"] == 0, record
+    assert record["shm_requeued"] > 0, record
+    # Acceptance floors (see module docstring): the removed work is
+    # structural, so these hold regardless of core count.
+    assert record["verify_epoch_speedup"] >= 2.0, record
+    assert record["respawn_speedup"] >= 5.0, record
+
+
+def test_bench_pool_cls1():
+    """Tentpole acceptance: >= 2x epoch, >= 5x respawn, same verdicts."""
+    record = _run_comparison(
+        workers=4, schedule=(2, 1, 2, 1, 2, 8, 2, 1), respawn_reps=3
+    )
+    _report("BENCH_pool", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_pool.json").write_text(
+        json.dumps(record, indent=2, default=str) + "\n"
+    )
+    _check(record)
+
+
+def test_bench_pool_smoke():
+    """CI smoke: same contract on a short schedule (compare_bench gates)."""
+    record = _run_comparison(workers=4, schedule=(1, 2, 4), respawn_reps=2)
+    _report("BENCH_pool_smoke", record)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_pool_smoke.json").write_text(
+        json.dumps(record, indent=2, default=str) + "\n"
+    )
+    _check(record)

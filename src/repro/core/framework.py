@@ -60,6 +60,14 @@ class GlobalOptConfig:
     so each sweep point runs on its own worker; the fold over sweep
     points keeps the serial order and comparison, so the chosen tree is
     the one the serial sweep would have chosen.
+
+    ``pool_backend`` selects the pool transport: ``"pipe"`` (reference)
+    ships the full realization context inside every sweep-point payload;
+    ``"shm"`` publishes the static context — library, stage LUTs,
+    compiled ECO planes — once into a shared-memory arena that workers
+    map zero-copy, so payloads carry only the per-point dynamics and the
+    scatter uses the event-driven work-stealing scheduler.  Either way
+    the fold is identical.
     """
 
     sweep_factors: Tuple[float, ...] = (1.0, 1.15, 1.5)
@@ -71,6 +79,7 @@ class GlobalOptConfig:
     improvement_eps_ps: float = 0.25
     workers: int = 1
     mp_context: Optional[str] = None
+    pool_backend: str = "pipe"
 
 
 @dataclass
@@ -314,24 +323,38 @@ class GlobalOptimizer:
     def run(self, tree: Optional[ClockTree] = None) -> GlobalOptResult:
         """Run the full global flow; never worsens the objective."""
         cfg = self._config
+        ctx = RealizationContext.from_problem(
+            self._problem, self._tech.stage_luts, cfg
+        )
         pool = None
+        arena = None
         if cfg.workers > 1:
             from repro.parallel.pool import WorkerPool
 
-            pool = WorkerPool(cfg.workers, mp_context=cfg.mp_context)
+            if cfg.pool_backend == "shm":
+                from repro.parallel.shm import SharedPlaneArena
+                from repro.parallel.sweep import publish_sweep_arena
+
+                arena = SharedPlaneArena(tag="sweep")
+                publish_sweep_arena(arena, ctx, self._problem)
+            pool = WorkerPool(
+                cfg.workers,
+                mp_context=cfg.mp_context,
+                backend=cfg.pool_backend,
+                arena=arena,
+            )
         try:
-            return self._run(tree, pool)
+            return self._run(tree, pool, ctx)
         finally:
             if pool is not None:
                 pool.close()
+            if arena is not None:
+                arena.close()
 
-    def _run(self, tree: Optional[ClockTree], pool) -> GlobalOptResult:
+    def _run(self, tree: Optional[ClockTree], pool, ctx) -> GlobalOptResult:
         cfg = self._config
         problem = self._problem
         timer = problem.timer
-        ctx = RealizationContext.from_problem(
-            problem, self._tech.stage_luts, cfg
-        )
         base_tree = (tree or problem.design.tree).clone()
         base_result = problem.evaluate(base_tree)
 
@@ -445,9 +468,16 @@ class GlobalOptimizer:
             from repro.netlist.serialize import tree_from_dict
             from repro.parallel.sweep import build_realize_payload
 
+            use_arena = pool.backend == "shm"
             payloads = [
                 build_realize_payload(
-                    ctx, problem, current, data, solution, allow_batches
+                    ctx,
+                    problem,
+                    current,
+                    data,
+                    solution,
+                    allow_batches,
+                    use_arena=use_arena,
                 )
                 for _bound, solution in solutions
             ]

@@ -74,6 +74,12 @@ class LocalOptConfig:
     workers: object = 1
     #: Multiprocessing start method (``None`` = fork where available).
     mp_context: Optional[str] = None
+    #: Pool transport backend: ``"pipe"`` (reference — per-worker pipes,
+    #: static shards, in-order gather) or ``"shm"`` (shared-memory plane
+    #: arena + event-driven work-stealing gather).  Both commit
+    #: byte-identical trajectories; ``shm`` makes worker spawn/respawn
+    #: near-instant and hides stragglers.
+    pool_backend: str = "pipe"
 
 
 @dataclass(frozen=True)
@@ -159,6 +165,7 @@ class LocalOptimizer:
                 workers,
                 local_skew_tolerance_ps=cfg.local_skew_tolerance_ps,
                 mp_context=cfg.mp_context,
+                backend=cfg.pool_backend,
             )
 
         try:
@@ -193,7 +200,9 @@ class LocalOptimizer:
                                         current, features.move
                                     )
                                     if verifier is not None:
-                                        verifier.record_commit(features.move)
+                                        verifier.record_commit(
+                                            features.move, tree=current
+                                        )
                                     if pipeline is not None:
                                         self._invalidate_pipeline(
                                             pipeline, features.move

@@ -8,7 +8,10 @@ The package splits into three layers:
   per-worker pipes, crash detection/recovery, and the stateless
   ``call`` channel used by the global flow's U-sweep;
 * :mod:`repro.parallel.verify` — the local-opt bridge: top-R candidate
-  fan-out with a deterministic reduce.
+  fan-out with a deterministic reduce;
+* :mod:`repro.parallel.shm` — the zero-copy shared-memory backplane:
+  compiled kernel planes exported once per baseline generation, mapped
+  read-only by every worker.
 """
 
 from repro.parallel.pool import (
@@ -16,23 +19,31 @@ from repro.parallel.pool import (
     WorkerCrash,
     WorkerError,
     WorkerPool,
+    worker_arena,
 )
 from repro.parallel.replica import (
     Replica,
     ReplicaSpec,
     VerifyOutcome,
     merge_sharded_outcome,
+    publish_replica_arena,
 )
+from repro.parallel.shm import ArenaView, SharedPlaneArena, attach
 from repro.parallel.verify import ParallelVerifier
 
 __all__ = [
+    "ArenaView",
     "CRASH_EXIT_CODE",
     "ParallelVerifier",
     "Replica",
     "ReplicaSpec",
+    "SharedPlaneArena",
     "VerifyOutcome",
     "WorkerCrash",
     "WorkerError",
     "WorkerPool",
+    "attach",
     "merge_sharded_outcome",
+    "publish_replica_arena",
+    "worker_arena",
 ]

@@ -20,6 +20,20 @@ re-verifies it serially — bit-identical, just slower), and respawns dead
 workers before the next request; fresh workers resynchronize by
 replaying the full delta stream from the run's starting tree, which
 keeps their float state bit-identical to the survivors'.
+
+Two transport backends exist.  ``pipe`` (the default, and the
+bit-identical reference) ships the replica spec to each worker at spawn
+and gathers verify replies in fixed worker order.  ``shm`` maps a
+:class:`~repro.parallel.shm.SharedPlaneArena` instead: workers attach
+the published baseline (zero-copy compiled planes), requests carry only
+delta suffixes and single tasks, and the gather is an event-driven
+``multiprocessing.connection.wait`` loop with work-stealing refill.  A
+worker dying mid-task under ``shm`` has its in-flight verify tasks
+requeued to the survivors (verification is pure), and its respawn
+re-attaches to the live arena generation.  Both backends fold results
+through the same index-keyed deterministic reduce, so committed-move
+trajectories are byte-identical across backends, worker counts, and
+completion orders.
 """
 
 from __future__ import annotations
@@ -30,10 +44,13 @@ import multiprocessing
 import os
 import time
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.moves import Move
 from repro.obs import trace as obs_trace
+from repro.parallel import shm as shm_arena
 from repro.parallel.replica import Replica, ReplicaSpec, VerifyOutcome
 
 #: Exit code used by the test-only ``crash`` request.
@@ -85,6 +102,12 @@ def resolve_workers(workers: object) -> Tuple[int, str]:
     count = int(workers)  # type: ignore[arg-type]
     if count < 1:
         raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    cpus = effective_cpu_count()
+    if count > cpus:
+        return count, (
+            f"explicit: {count} workers oversubscribe "
+            f"{cpus} effective CPU(s)"
+        )
     return count, "explicit"
 
 
@@ -95,15 +118,41 @@ def _resolve(fn_spec: str) -> Callable[[Any], Any]:
     return getattr(importlib.import_module(module_name), fn_name)
 
 
-def _worker_main(conn, spec: Optional[ReplicaSpec], lane: int = 0) -> None:
+#: Worker-process arena view, for ``call`` targets that read shared
+#: context (the U-sweep's :func:`repro.parallel.sweep.realize_point`).
+_WORKER_ARENA: Optional[shm_arena.ArenaView] = None
+
+
+def worker_arena() -> Optional[shm_arena.ArenaView]:
+    """The arena view this worker process attached at startup, if any."""
+    return _WORKER_ARENA
+
+
+def _worker_main(
+    conn,
+    spec: Optional[ReplicaSpec],
+    lane: int = 0,
+    arena_name: Optional[str] = None,
+) -> None:
     """Worker loop: build the replica once, then serve until told to exit.
 
     The worker traces into its own observability lane and ships the
     drained span/metric events with every response — the parent merges
     them into the run trace (or discards them when tracing is off).
+    With ``arena_name`` the worker attaches the shared-memory arena and
+    builds its replica from the published baseline (zero-copy planes)
+    instead of unpickling a spec shipped over the pipe.
     """
+    global _WORKER_ARENA
     tracer = obs_trace.activate(obs_trace.Tracer(worker=lane))
-    replica = Replica(spec) if spec is not None else None
+    replica = None
+    if arena_name is not None:
+        _WORKER_ARENA = shm_arena.attach(arena_name)
+        if _WORKER_ARENA.meta.get("kind") == "replica":
+            replica = Replica.from_arena(_WORKER_ARENA)
+    elif spec is not None:
+        replica = Replica(spec)
+    crash_after: Optional[int] = None
     while True:
         try:
             message = conn.recv()
@@ -114,6 +163,12 @@ def _worker_main(conn, spec: Optional[ReplicaSpec], lane: int = 0) -> None:
             return
         if op == "crash":
             os._exit(CRASH_EXIT_CODE)
+        if op == "crash_after":
+            # Test hook: die just before the Nth future verify request,
+            # i.e. with that task in flight from the pool's viewpoint.
+            crash_after = int(message[1])
+            conn.send(("ok", None, tracer.drain()))
+            continue
         try:
             if op == "ping":
                 result: Any = replica.applied if replica else None
@@ -121,6 +176,10 @@ def _worker_main(conn, spec: Optional[ReplicaSpec], lane: int = 0) -> None:
                 _, deltas, first_index, tasks = message
                 if replica is None:
                     raise RuntimeError("pool has no replica spec")
+                if crash_after is not None:
+                    if crash_after <= 0:
+                        os._exit(CRASH_EXIT_CODE)
+                    crash_after -= 1
                 with tracer.span("verify", phase="local") as span:
                     replica.sync(deltas, first_index)
                     outcomes: List[VerifyOutcome] = []
@@ -148,10 +207,12 @@ class _WorkerHandle:
 
     __slots__ = ("process", "conn", "synced", "alive", "lane", "last_events")
 
-    def __init__(self, process, conn, lane: int) -> None:
+    def __init__(self, process, conn, lane: int, synced: int = 0) -> None:
         self.process = process
         self.conn = conn
-        self.synced = 0  # committed-move deltas this worker has replayed
+        #: Global index of the next committed-move delta this worker
+        #: needs (arena-born workers start at the arena baseline).
+        self.synced = synced
         self.alive = True
         self.lane = lane  # observability lane id (unique per process)
         self.last_events: List[Dict[str, object]] = []
@@ -173,17 +234,27 @@ class WorkerPool:
         workers: int,
         spec: Optional[ReplicaSpec] = None,
         mp_context: Optional[str] = None,
+        backend: str = "pipe",
+        arena: Optional[shm_arena.SharedPlaneArena] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in ("pipe", "shm"):
+            raise ValueError("backend must be 'pipe' or 'shm'")
+        if backend == "shm" and arena is None:
+            raise ValueError("the shm backend requires a published arena")
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(mp_context)
         self._spec = spec
         self._size = workers
+        self._backend = backend
+        self._arena = arena
         self._workers: List[_WorkerHandle] = []
         self._deltas: List[Move] = []
+        #: Global index of ``_deltas[0]`` (compaction drops prefixes).
+        self._delta_base = 0
         self.stats: Dict[str, float] = {
             "workers": workers,
             "verify_batches": 0,
@@ -195,6 +266,9 @@ class WorkerPool:
             "failed_shards": 0,
             "verify_wall_s": 0.0,
             "worker_busy_s": 0.0,
+            "steals": 0,
+            "requeued": 0,
+            "compactions": 0,
         }
         #: Worker trace deltas from the most recent request, as
         #: ``(lane, events)`` — per engaged worker for ``verify_batch``,
@@ -212,17 +286,33 @@ class WorkerPool:
     def size(self) -> int:
         return self._size
 
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    def _arena_baseline(self) -> int:
+        """Global delta index a freshly spawned worker starts from."""
+        if self._arena is None:
+            return 0
+        return int(self._arena.meta.get("baseline_index", 0))
+
     def _spawn_one(self) -> _WorkerHandle:
         lane = next(_LANE_COUNTER)
         parent_conn, child_conn = self._ctx.Pipe()
+        if self._arena is not None:
+            # The worker maps the live arena generation; the spec (and
+            # its tree payload) never crosses the pipe.
+            args = (child_conn, None, lane, self._arena.name)
+            synced = self._arena_baseline()
+        else:
+            args = (child_conn, self._spec, lane)
+            synced = 0
         process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, self._spec, lane),
-            daemon=True,
+            target=_worker_main, args=args, daemon=True
         )
         process.start()
         child_conn.close()
-        return _WorkerHandle(process, parent_conn, lane)
+        return _WorkerHandle(process, parent_conn, lane, synced=synced)
 
     def _spawn_missing(self) -> None:
         """Respawn dead workers until the pool is at full strength."""
@@ -299,10 +389,38 @@ class WorkerPool:
 
     @property
     def committed(self) -> int:
+        """Global count of committed moves recorded so far."""
+        return self._delta_base + len(self._deltas)
+
+    @property
+    def retained_deltas(self) -> int:
+        """Deltas still buffered (global count minus compacted prefix)."""
         return len(self._deltas)
 
     def _sync_args(self, worker: _WorkerHandle) -> Tuple[List[Move], int]:
-        return self._deltas[worker.synced :], worker.synced
+        return self._deltas[worker.synced - self._delta_base :], worker.synced
+
+    def compact_deltas(self) -> int:
+        """Drop the delta prefix every consumer has passed; returns count.
+
+        A prefix is droppable once every *live* worker's ``synced``
+        watermark and the arena baseline (where respawned workers start
+        replaying) are both beyond it.  Without an arena the baseline is
+        move 0 — a fresh pipe worker replays from the run's starting
+        tree — so the stream is kept whole, matching the reference
+        backend's behavior.
+        """
+        floor = self._arena_baseline()
+        for worker in self._workers:
+            if worker.alive:
+                floor = min(floor, worker.synced)
+        drop = floor - self._delta_base
+        if drop <= 0:
+            return 0
+        del self._deltas[:drop]
+        self._delta_base = floor
+        self.stats["compactions"] += 1
+        return drop
 
     # ------------------------------------------------------------------
     # Verification fan-out
@@ -349,6 +467,14 @@ class WorkerPool:
         (one element unless corner-sharded) — or ``None`` for candidates
         whose worker died; the caller re-verifies those serially.  Dead
         workers are respawned before returning.
+
+        The ``pipe`` backend sends each worker its whole statically
+        planned shard list and gathers replies in fixed worker order
+        (the bit-identical reference).  The ``shm`` backend streams
+        tasks one at a time through an event loop — see
+        :meth:`_verify_batch_overlapped`.  Both fold results through the
+        same index-keyed deterministic reduce, so verdicts are identical
+        for any backend, worker count, or completion order.
         """
         if self._spec is None:
             raise RuntimeError("verify_batch requires a pool built with a spec")
@@ -356,36 +482,12 @@ class WorkerPool:
             return []
         started = time.perf_counter()
         self._spawn_missing()
-        corner_names = [c.name for c in self._spec.library.corners]
-        plans, groups = self._plan_shards(moves, corner_names)
         self.stats["verify_batches"] += 1
         self.stats["verify_tasks"] += len(moves)
-        if groups > 1:
-            self.stats["sharded_batches"] += 1
-
-        engaged: List[Tuple[_WorkerHandle, List]] = []
-        for worker, plan in zip(self._workers, plans):
-            if not plan:
-                continue
-            deltas, first_index = self._sync_args(worker)
-            if self._send(worker, ("verify", deltas, first_index, plan)):
-                engaged.append((worker, plan))
-
-        shards: Dict[int, List[VerifyOutcome]] = {}
-        failed: set = set()
-        self.last_verify_obs = []
-        for worker, plan in engaged:
-            try:
-                outcomes = self._recv(worker)
-            except WorkerCrash:
-                failed.update(index for index, _, _ in plan)
-                continue
-            if worker.last_events:
-                self.last_verify_obs.append((worker.lane, worker.last_events))
-            worker.synced = len(self._deltas)
-            for outcome in outcomes:
-                shards.setdefault(outcome.index, []).append(outcome)
-                self.stats["worker_busy_s"] += outcome.eval_s
+        if self._backend == "shm":
+            shards, failed, groups = self._verify_batch_overlapped(moves)
+        else:
+            shards, failed, groups = self._verify_batch_static(moves)
         # A candidate misses the cut when any of its shards is absent —
         # its worker crashed, or never received the plan (send failed).
         for index in range(len(moves)):
@@ -399,6 +501,149 @@ class WorkerPool:
             for index in range(len(moves))
         ]
 
+    def _verify_batch_static(
+        self, moves: Sequence[Move]
+    ) -> Tuple[Dict[int, List[VerifyOutcome]], Set[int], int]:
+        """Reference gather: static plans, fixed-worker-order receive."""
+        corner_names = [c.name for c in self._spec.library.corners]
+        plans, groups = self._plan_shards(moves, corner_names)
+        if groups > 1:
+            self.stats["sharded_batches"] += 1
+
+        engaged: List[Tuple[_WorkerHandle, List]] = []
+        for worker, plan in zip(self._workers, plans):
+            if not plan:
+                continue
+            deltas, first_index = self._sync_args(worker)
+            if self._send(worker, ("verify", deltas, first_index, plan)):
+                engaged.append((worker, plan))
+
+        shards: Dict[int, List[VerifyOutcome]] = {}
+        failed: Set[int] = set()
+        self.last_verify_obs = []
+        for worker, plan in engaged:
+            try:
+                outcomes = self._recv(worker)
+            except WorkerCrash:
+                failed.update(index for index, _, _ in plan)
+                continue
+            if worker.last_events:
+                self.last_verify_obs.append((worker.lane, worker.last_events))
+            worker.synced = self.committed
+            for outcome in outcomes:
+                shards.setdefault(outcome.index, []).append(outcome)
+                self.stats["worker_busy_s"] += outcome.eval_s
+        return shards, failed, groups
+
+    def _plan_tasks(
+        self, moves: Sequence[Move], corner_names: Sequence[str]
+    ) -> Tuple[List[Tuple[int, Move, Optional[Tuple[str, ...]]]], int]:
+        """Flat task queue for the overlapped scheduler.
+
+        Kernel-backend replicas retime *every* corner in one batched
+        pass regardless of the subset requested, so corner-sharding
+        multiplies total work by the group count for zero kernel-path
+        savings — whole-candidate tasks are strictly cheaper and the
+        dynamic refill keeps stragglers from idling the pool.  The
+        reference backend propagates per corner, so its corner groups
+        still pay off when workers outnumber the batch and are kept.
+        """
+        n_workers = max(len(self._workers), 1)
+        groups = 1
+        if (
+            self._spec.wire_backend != "kernel"
+            and len(moves) < n_workers
+            and len(corner_names) >= 2
+        ):
+            groups = min(len(corner_names), n_workers // len(moves))
+        if groups > 1:
+            bounds = [
+                (g * len(corner_names)) // groups for g in range(groups + 1)
+            ]
+            tasks = [
+                (index, move, tuple(corner_names[bounds[g] : bounds[g + 1]]))
+                for index, move in enumerate(moves)
+                for g in range(groups)
+            ]
+        else:
+            tasks = [(index, move, None) for index, move in enumerate(moves)]
+        return tasks, groups
+
+    def _verify_batch_overlapped(
+        self, moves: Sequence[Move]
+    ) -> Tuple[Dict[int, List[VerifyOutcome]], Set[int], int]:
+        """Event-driven gather: ``connection.wait`` + work-stealing refill.
+
+        Every worker starts with one task; whichever finishes first is
+        refilled from the shared queue, so a straggler never blocks the
+        batch (no head-of-line gather order).  A worker that dies
+        mid-task has its in-flight task requeued to the survivors —
+        verification is a pure function of (replica state, move), so
+        re-execution is safe.  Determinism: results are keyed by
+        candidate index and merged in library corner order downstream,
+        which makes the reduce independent of completion order.
+        """
+        corner_names = [c.name for c in self._spec.library.corners]
+        tasks, groups = self._plan_tasks(moves, corner_names)
+        if groups > 1:
+            self.stats["sharded_batches"] += 1
+        queue: deque = deque(tasks)
+        shards: Dict[int, List[VerifyOutcome]] = {}
+        self.last_verify_obs = []
+        idle: List[_WorkerHandle] = [w for w in self._workers if w.alive]
+        fair = -(-len(tasks) // max(len(idle), 1))
+        dispatched: Dict[int, int] = {}
+        inflight: Dict[Any, Tuple[_WorkerHandle, Tuple]] = {}
+        head = self.committed
+        waits = 0
+        tracer = obs_trace.active()
+        with tracer.span("queue_wait", phase="parallel") as span:
+            while queue or inflight:
+                while queue and idle:
+                    worker = idle.pop(0)
+                    task = queue.popleft()
+                    deltas, first_index = self._sync_args(worker)
+                    sent = self._send(
+                        worker, ("verify", deltas, first_index, [task])
+                    )
+                    if not sent:
+                        queue.appendleft(task)
+                        continue
+                    worker.synced = head
+                    inflight[worker.conn] = (worker, task)
+                    count = dispatched.get(worker.lane, 0) + 1
+                    dispatched[worker.lane] = count
+                    if count > fair:
+                        self.stats["steals"] += 1
+                if not inflight:
+                    break  # every worker died; leftovers fail below
+                ready = connection.wait(list(inflight))
+                waits += 1
+                for conn in ready:
+                    worker, task = inflight.pop(conn)
+                    try:
+                        outcomes = self._recv(worker)
+                    except WorkerCrash:
+                        queue.append(task)
+                        self.stats["requeued"] += 1
+                        continue
+                    if worker.last_events:
+                        self.last_verify_obs.append(
+                            (worker.lane, worker.last_events)
+                        )
+                    for outcome in outcomes:
+                        shards.setdefault(outcome.index, []).append(outcome)
+                        self.stats["worker_busy_s"] += outcome.eval_s
+                    idle.append(worker)
+            span.set(
+                tasks=len(tasks),
+                waits=waits,
+                steals=int(self.stats["steals"]),
+                requeued=int(self.stats["requeued"]),
+            )
+        failed: Set[int] = {index for index, _, _ in queue}
+        return shards, failed, groups
+
     # ------------------------------------------------------------------
     # Stateless remote calls (U-sweep)
     # ------------------------------------------------------------------
@@ -410,11 +655,21 @@ class WorkerPool:
         Results keep payload order.  Worker exceptions propagate as
         :class:`WorkerError` (they are bugs, not crashes); a dead worker
         yields ``None`` for its payloads and is respawned.
+
+        The ``shm`` backend drains one shared payload queue through the
+        event loop instead of static round-robin queues: only the
+        in-flight payload of a crashed worker is forfeited (call targets
+        are not assumed idempotent) — its queued payloads migrate to the
+        survivors.
         """
         if not payloads:
             return []
         self._spawn_missing()
         self.stats["call_tasks"] += len(payloads)
+        if self._backend == "shm":
+            results = self._call_overlapped(fn_spec, payloads)
+            self._spawn_missing()
+            return results
         assignments: List[List[int]] = [[] for _ in self._workers]
         for position in range(len(payloads)):
             assignments[position % len(self._workers)].append(position)
@@ -450,6 +705,39 @@ class WorkerPool:
         self._spawn_missing()
         return results
 
+    def _call_overlapped(
+        self, fn_spec: str, payloads: Sequence[Any]
+    ) -> List[Optional[Any]]:
+        """Event-driven scatter over one shared payload queue."""
+        results: List[Optional[Any]] = [None] * len(payloads)
+        self.last_call_obs = [None] * len(payloads)
+        queue: deque = deque(range(len(payloads)))
+        idle: List[_WorkerHandle] = [w for w in self._workers if w.alive]
+        inflight: Dict[Any, Tuple[_WorkerHandle, int]] = {}
+        while queue or inflight:
+            while queue and idle:
+                worker = idle.pop(0)
+                position = queue.popleft()
+                if self._send(worker, ("call", fn_spec, payloads[position])):
+                    inflight[worker.conn] = (worker, position)
+                else:
+                    queue.appendleft(position)
+            if not inflight:
+                break
+            for conn in connection.wait(list(inflight)):
+                worker, position = inflight.pop(conn)
+                try:
+                    results[position] = self._recv(worker)
+                except WorkerCrash:
+                    continue
+                if worker.last_events:
+                    self.last_call_obs[position] = (
+                        worker.lane,
+                        worker.last_events,
+                    )
+                idle.append(worker)
+        return results
+
     # ------------------------------------------------------------------
     # Test support
     # ------------------------------------------------------------------
@@ -458,6 +746,14 @@ class WorkerPool:
         worker = self._workers[index]
         if self._send(worker, ("crash",)):
             worker.process.join(timeout=5.0)
+
+    def crash_worker_after(self, index: int, requests: int) -> None:
+        """Arm worker ``index`` to die after serving ``requests`` more
+        verify requests — from the pool's viewpoint the next task is in
+        flight when it dies (exercises mid-steal requeue in tests)."""
+        worker = self._workers[index]
+        if self._send(worker, ("crash_after", requests)):
+            self._recv(worker)
 
     def alive_workers(self) -> int:
         return sum(

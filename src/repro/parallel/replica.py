@@ -22,6 +22,8 @@ what lets the parallel reduce pick the same winner, bit for bit.
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -103,6 +105,57 @@ class Replica:
         #: Number of committed moves replayed so far.
         self.applied = 0
 
+    @classmethod
+    def from_arena(cls, view) -> "Replica":
+        """Build a replica from an attached shared-memory arena view.
+
+        The arena's spec blob carries the tree *as of the arena's
+        baseline index*; when the publisher also exported its kernel
+        planes and state, the engine adopts them directly (zero-copy
+        structure views + a baseline :class:`~repro.sta.kernel.
+        KernelState` whose arrays stay read-only shared memory — every
+        mutation path copies before writing), skipping the per-net
+        compile and full propagation entirely.
+        """
+        spec: ReplicaSpec = pickle.loads(view.blob("spec"))
+        self = cls.__new__(cls)
+        self.spec = spec
+        self.tree = tree_from_dict(spec.tree_payload)
+        self.engine = IncrementalTimer(
+            spec.library,
+            wire_metric=spec.wire_metric,
+            segment_um=spec.segment_um,
+            wire_backend=spec.wire_backend,
+        )
+        corner_names = view.meta.get("corner_names")
+        if (
+            spec.wire_backend == "kernel"
+            and corner_names
+            and "tree/ids" in view.arrays
+        ):
+            from repro.sta.kernel import CompiledTree, KernelState
+
+            planes = {
+                name[len("tree/") :]: arr
+                for name, arr in view.arrays.items()
+                if name.startswith("tree/")
+            }
+            compiled = CompiledTree.from_planes(
+                self.engine._kernel_obj(), planes, corner_names
+            )
+            state = KernelState(
+                **{
+                    field.name: view.arrays["state/" + field.name]
+                    for field in dataclasses.fields(KernelState)
+                }
+            )
+            self.engine.adopt_compiled(self.tree, compiled, state)
+        else:
+            self.engine.ensure(self.tree)
+        #: Replay starts at the arena baseline, not the run's move 0.
+        self.applied = int(view.meta.get("baseline_index", 0))
+        return self
+
     # ------------------------------------------------------------------
     def sync(self, deltas: Sequence[Move], first_index: int) -> None:
         """Replay the committed-move stream ``deltas`` onto the replica.
@@ -179,6 +232,37 @@ class Replica:
         return self.engine.time_tree(
             self.tree, self.spec.pairs, alphas=self.spec.alphas
         )
+
+
+def publish_replica_arena(
+    arena, spec: ReplicaSpec, tree: ClockTree, engine=None, baseline_index: int = 0
+) -> str:
+    """Export a replica baseline into ``arena``; returns the segment name.
+
+    The published spec carries ``tree`` serialized *as of*
+    ``baseline_index`` committed moves, so workers built from this
+    generation replay only the delta suffix.  When ``engine`` is an
+    attached kernel-backend :class:`IncrementalTimer`, its compiled SoA
+    planes and propagation state ride along and workers adopt them
+    instead of recompiling (see :meth:`Replica.from_arena`); otherwise
+    the arena still spares the per-spawn spec pickle.
+    """
+    snapshot_spec = dataclasses.replace(spec, tree_payload=tree_to_dict(tree))
+    blobs = {"spec": pickle.dumps(snapshot_spec, protocol=5)}
+    arrays: Dict[str, Any] = {}
+    meta: Dict[str, Any] = {
+        "kind": "replica",
+        "baseline_index": int(baseline_index),
+    }
+    snapshot = engine.kernel_snapshot(tree) if engine is not None else None
+    if snapshot is not None:
+        compiled, state = snapshot
+        for name, arr in compiled.export_planes().items():
+            arrays["tree/" + name] = arr
+        for field in dataclasses.fields(type(state)):
+            arrays["state/" + field.name] = getattr(state, field.name)
+        meta["corner_names"] = [c.name for c in compiled.corners]
+    return arena.export(blobs, arrays, meta)
 
 
 def merge_sharded_outcome(

@@ -6,14 +6,28 @@ the *same* base tree.  These functions are the ``"module:function"``
 targets :meth:`repro.parallel.pool.WorkerPool.call` resolves inside a
 worker process; payloads are self-contained (tree payload + frozen
 problem artifacts) so the workers need no replica state.
+
+With the shm pool backend the static realization context — library,
+stage LUTs, legalizer, region, frozen baseline artifacts — is published
+once into the pool's :class:`~repro.parallel.shm.SharedPlaneArena`
+(:func:`publish_sweep_arena`) together with the compiled ECO
+:class:`~repro.tech.stage_lut.StageLUTPlanes` arrays; per-point payloads
+then carry only the dynamic part (tree, LP data, solution), and workers
+seed their stage-LUT plane memos with zero-copy views of the shared
+arrays instead of recompiling them.
 """
 
 from __future__ import annotations
 
+import pickle
 from typing import Any, Dict, Tuple
 
 from repro.netlist.serialize import tree_from_dict, tree_to_dict
 from repro.sta.incremental import IncrementalTimer
+
+#: Per-worker cache of the unpickled shared sweep context (the arena is
+#: attached once per worker process, so one unpickle serves all points).
+_SWEEP_CTX: Dict[int, Dict[str, Any]] = {}
 
 
 def solve_bound(payload: Tuple[Any, float]):
@@ -27,6 +41,90 @@ def solve_bound(payload: Tuple[Any, float]):
     return lp.minimize_changes(bound)
 
 
+def publish_sweep_arena(arena, ctx, problem) -> str:
+    """Export the static sweep context (and ECO planes) into ``arena``."""
+    ctx_payload = {
+        "library": ctx.library,
+        "stage_luts": ctx.stage_luts,
+        "legalizer": ctx.legalizer,
+        "region": ctx.region,
+        "pairs": list(ctx.pairs),
+        "alphas": dict(ctx.alphas),
+        "baseline_skews": ctx.baseline_skews,
+        "eco_config": ctx.eco_config,
+        "batch_size": ctx.batch_size,
+        "improvement_eps_ps": ctx.improvement_eps_ps,
+        "wire_metric": problem.timer.wire_metric,
+        "segment_um": problem.timer.segment_um,
+        "wire_backend": problem.timer.wire_backend,
+    }
+    blobs = {"sweep_ctx": pickle.dumps(ctx_payload, protocol=5)}
+    arrays: Dict[str, Any] = {}
+    eco_planes = []
+    for name, lut in ctx.stage_luts.items():
+        try:
+            planes = lut.planes()
+        except ValueError:
+            continue  # uncompilable grids: the worker recompiles/falls back
+        for field in (
+            "uniform",
+            "uniform_slew",
+            "detail",
+            "detail_slew",
+            "detail_slew_axis",
+            "detail_load_axis",
+        ):
+            arrays[f"eco/{name}/{field}"] = getattr(planes, field)
+        eco_planes.append(
+            {
+                "corner": name,
+                "sizes": list(planes.sizes),
+                "wl_axis": list(planes.wl_axis),
+            }
+        )
+    meta = {"kind": "sweep", "eco_planes": eco_planes}
+    return arena.export(blobs, arrays, meta)
+
+
+def _arena_context() -> Dict[str, Any]:
+    """The shared sweep context this worker's arena published.
+
+    Unpickled once per worker; the stage LUTs' ``StageLUTPlanes`` memos
+    are seeded with read-only views of the shared plane arrays, so the
+    ECO candidate kernel compiles from zero-copy data.
+    """
+    from repro.parallel.pool import worker_arena
+    from repro.tech.stage_lut import StageLUTPlanes
+
+    view = worker_arena()
+    if view is None:
+        raise RuntimeError("arena-relative sweep payload without an arena")
+    cached = _SWEEP_CTX.get(view.generation)
+    if cached is not None:
+        return cached
+    ctx_payload: Dict[str, Any] = pickle.loads(view.blob("sweep_ctx"))
+    stage_luts = ctx_payload["stage_luts"]
+    for entry in view.meta.get("eco_planes", ()):
+        name = entry["corner"]
+        lut = stage_luts.get(name)
+        if lut is None:
+            continue
+        planes = StageLUTPlanes(
+            sizes=tuple(entry["sizes"]),
+            wl_axis=tuple(entry["wl_axis"]),
+            uniform=view.arrays[f"eco/{name}/uniform"],
+            uniform_slew=view.arrays[f"eco/{name}/uniform_slew"],
+            detail=view.arrays[f"eco/{name}/detail"],
+            detail_slew=view.arrays[f"eco/{name}/detail_slew"],
+            detail_slew_axis=view.arrays[f"eco/{name}/detail_slew_axis"],
+            detail_load_axis=view.arrays[f"eco/{name}/detail_load_axis"],
+        )
+        object.__setattr__(lut, "_planes", planes)
+    _SWEEP_CTX.clear()
+    _SWEEP_CTX[view.generation] = ctx_payload
+    return ctx_payload
+
+
 def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Realize one sweep point's LP plan inside a worker.
 
@@ -34,8 +132,15 @@ def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
     payload, runs the same :func:`realize_verified_plan` the serial
     path runs, and ships the realized tree back serialized (the main
     process re-evaluates it with its own engine before the fold).
+    Arena-relative payloads (``use_arena``) pull the static context from
+    the worker's attached shared-memory arena.
     """
     from repro.core.framework import RealizationContext, realize_verified_plan
+
+    if payload.get("use_arena"):
+        merged = dict(_arena_context())
+        merged.update(payload)
+        payload = merged
 
     tree = tree_from_dict(payload["tree"])
     engine = IncrementalTimer(
@@ -72,11 +177,24 @@ def realize_point(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def build_realize_payload(
-    ctx, problem, tree, data, solution, allow_batches: bool
+    ctx, problem, tree, data, solution, allow_batches: bool, use_arena: bool = False
 ) -> Dict[str, Any]:
-    """Package one sweep point for :func:`realize_point`."""
-    return {
+    """Package one sweep point for :func:`realize_point`.
+
+    ``use_arena`` payloads ship only the dynamic per-point part — the
+    static context rides in the pool's shared-memory arena.
+    """
+    dynamic = {
         "tree": tree_to_dict(tree),
+        "data": data,
+        "solution": solution,
+        "allow_batches": allow_batches,
+    }
+    if use_arena:
+        dynamic["use_arena"] = True
+        return dynamic
+    return {
+        **dynamic,
         "library": ctx.library,
         "stage_luts": ctx.stage_luts,
         "legalizer": ctx.legalizer,
@@ -90,7 +208,4 @@ def build_realize_payload(
         "wire_metric": problem.timer.wire_metric,
         "segment_um": problem.timer.segment_um,
         "wire_backend": problem.timer.wire_backend,
-        "data": data,
-        "solution": solution,
-        "allow_batches": allow_batches,
     }

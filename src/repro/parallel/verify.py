@@ -8,6 +8,14 @@ correctness.  The returned verdicts are in batch order and bit-identical
 to what the serial loop computes, which makes the subsequent pick
 (:meth:`LocalOptimizer._pick_best`) produce the same committed-move
 trajectory regardless of worker count.
+
+With ``backend="shm"`` the verifier also owns a
+:class:`~repro.parallel.shm.SharedPlaneArena`: it publishes the run's
+starting tree plus the main engine's compiled kernel planes as
+generation 1, and republishes a fresh baseline every
+``compact_every`` committed moves so the pool can compact its delta
+stream — a respawned worker then adopts the latest baseline and replays
+only the delta suffix instead of the whole run history.
 """
 
 from __future__ import annotations
@@ -19,10 +27,19 @@ from repro.netlist.tree import ClockTree
 from repro.obs.merge import merge_worker_events
 from repro.obs.trace import active as active_tracer
 from repro.parallel.pool import WorkerPool
-from repro.parallel.replica import ReplicaSpec, merge_sharded_outcome
+from repro.parallel.replica import (
+    ReplicaSpec,
+    merge_sharded_outcome,
+    publish_replica_arena,
+)
+from repro.parallel.shm import SharedPlaneArena
 
 #: One candidate's verification verdict: (total variation, degraded?).
 Verdict = Tuple[float, bool]
+
+#: Republish the arena baseline (and compact the delta stream) once this
+#: many committed moves have accumulated since the last baseline.
+DEFAULT_COMPACT_EVERY = 64
 
 
 class ParallelVerifier:
@@ -35,6 +52,8 @@ class ParallelVerifier:
         workers: int,
         local_skew_tolerance_ps: float = 0.5,
         mp_context: Optional[str] = None,
+        backend: str = "pipe",
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         if workers < 2:
             raise ValueError("ParallelVerifier needs >= 2 workers")
@@ -42,7 +61,25 @@ class ParallelVerifier:
         self._spec = ReplicaSpec.from_problem(
             problem, tree, local_skew_tolerance_ps=local_skew_tolerance_ps
         )
-        self._pool = WorkerPool(workers, spec=self._spec, mp_context=mp_context)
+        self._backend = backend
+        self._compact_every = max(2, compact_every)
+        self._arena: Optional[SharedPlaneArena] = None
+        if backend == "shm":
+            self._arena = SharedPlaneArena(tag="verify")
+            publish_replica_arena(
+                self._arena,
+                self._spec,
+                tree,
+                engine=problem.engine(),
+                baseline_index=0,
+            )
+        self._pool = WorkerPool(
+            workers,
+            spec=self._spec,
+            mp_context=mp_context,
+            backend=backend,
+            arena=self._arena,
+        )
         self._serial_fallbacks = 0
 
     # ------------------------------------------------------------------
@@ -82,23 +119,52 @@ class ParallelVerifier:
         )
 
     # ------------------------------------------------------------------
-    def record_commit(self, move: Move) -> None:
-        """Extend the delta stream the workers replay to stay in sync."""
+    def record_commit(self, move: Move, tree: Optional[ClockTree] = None) -> None:
+        """Extend the delta stream the workers replay to stay in sync.
+
+        With the shm backend and the committed ``tree`` in hand, a
+        baseline republish + delta compaction triggers once the retained
+        stream reaches the compaction threshold.
+        """
         self._pool.record_commit(move)
+        if (
+            self._arena is not None
+            and tree is not None
+            and self._pool.retained_deltas >= self._compact_every
+        ):
+            self._refresh_baseline(tree)
+
+    def _refresh_baseline(self, tree: ClockTree) -> None:
+        """Republish the arena at the current state and compact deltas."""
+        publish_replica_arena(
+            self._arena,
+            self._spec,
+            tree,
+            engine=self._problem.engine(),
+            baseline_index=self._pool.committed,
+        )
+        self._pool.compact_deltas()
 
     def stats_dict(self) -> Dict[str, float]:
         stats = dict(self._pool.stats)
         stats["serial_fallbacks"] = self._serial_fallbacks
+        stats["backend"] = self._backend
         wall = stats.get("verify_wall_s", 0.0)
         busy = stats.get("worker_busy_s", 0.0)
         # Effective verification concurrency: worker-side eval seconds
         # per wall second of fan-out.  > 1 means the pool verified faster
         # than one process could have.
         stats["verify_speedup"] = round(busy / wall, 3) if wall > 0 else 0.0
+        if self._arena is not None:
+            stats["arena_generation"] = self._arena.generation
+            stats["arena_bytes"] = self._arena.bytes_shared
+            stats["retained_deltas"] = self._pool.retained_deltas
         return stats
 
     def close(self) -> None:
         self._pool.close()
+        if self._arena is not None:
+            self._arena.close()
 
     def __enter__(self) -> "ParallelVerifier":
         return self

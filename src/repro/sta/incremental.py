@@ -259,6 +259,40 @@ class IncrementalTimer:
             raise ValueError("rebase target is not the attached tree")
         self._stamp = (id(tree), tree.revision)
 
+    def kernel_snapshot(self, tree: ClockTree):
+        """The attached ``(CompiledTree, KernelState)``, or ``None``.
+
+        Only available on the kernel backend while attached to ``tree``
+        — the pair describes exactly that tree's geometry.  The shared
+        -memory arena exports it so worker replicas can adopt the main
+        engine's compiled planes instead of recompiling.
+        """
+        if self._compiled is None or self._kstate is None:
+            return None
+        if not self.is_attached(tree):
+            return None
+        return self._compiled, self._kstate
+
+    def adopt_compiled(self, tree: ClockTree, compiled, state) -> None:
+        """Bind to ``tree`` by adopting a pre-built kernel compile.
+
+        ``compiled``/``state`` must describe ``tree``'s exact geometry
+        (an arena snapshot of an engine whose floats evolved through the
+        same ``advance`` path), so adopting them is bit-identical to
+        :meth:`attach` plus a delta replay — without the per-net scalar
+        compile and full propagation.
+        """
+        if self._wire_backend != "kernel":
+            raise ValueError("adopt_compiled requires the kernel wire backend")
+        self._kernel = compiled._kernel
+        self._kernel_unsupported = False
+        self._compiled = compiled
+        self._kstate = state
+        self._states = {}
+        self._tree = tree
+        self._stamp = (id(tree), tree.revision)
+        self.last_touched = None
+
     # ------------------------------------------------------------------
     # Evaluation entry points
     # ------------------------------------------------------------------

@@ -464,10 +464,13 @@ class CompiledTree:
             self.edge_elmore[:, e0:e1] = elmore
             self.edge_step_sq[:, e0:e1] = step_sq
         self.size_idx = size_idx
+        self.levels = self._build_levels()
 
-        # Level partitions: BFS order is sorted by depth, so each depth's
-        # nodes — and therefore its CSR edge block — are contiguous.
-        self.levels: List[Tuple[np.ndarray, int, int, np.ndarray]] = []
+    def _build_levels(self) -> List[Tuple[np.ndarray, int, int, np.ndarray]]:
+        """Level partitions: BFS order is sorted by depth, so each depth's
+        nodes — and therefore its CSR edge block — are contiguous."""
+        fanout, depth, child_ptr = self.fanout, self.depth, self.child_ptr
+        levels: List[Tuple[np.ndarray, int, int, np.ndarray]] = []
         bounds = np.searchsorted(depth, np.arange(depth[-1] + 2))
         for d in range(int(depth[-1]) + 1):
             a, b = int(bounds[d]), int(bounds[d + 1])
@@ -475,9 +478,64 @@ class CompiledTree:
             if drivers.size == 0:
                 continue
             rep = np.repeat(np.arange(drivers.size), fanout[drivers])
-            self.levels.append(
-                (drivers, int(child_ptr[a]), int(child_ptr[b]), rep)
-            )
+            levels.append((drivers, int(child_ptr[a]), int(child_ptr[b]), rep))
+        return levels
+
+    # ------------------------------------------------------------------
+    # Zero-copy plane export/import (shared-memory worker backplane)
+    # ------------------------------------------------------------------
+    #: Arrays :meth:`apply_rows` patches in place; an attached compile
+    #: must own writable copies of these.  Everything else is immutable
+    #: after compile and can stay a read-only shared view.
+    MUTABLE_PLANES = ("load", "edge_wdelay", "edge_elmore", "edge_step_sq", "size_idx")
+    STRUCTURE_PLANES = ("ids", "fanout", "depth", "child_ptr", "child_idx", "has_edge")
+
+    def export_planes(self) -> Dict[str, np.ndarray]:
+        """Flat ``{name: array}`` snapshot of this compile's SoA planes."""
+        planes = {
+            name: getattr(self, name)
+            for name in self.MUTABLE_PLANES + self.STRUCTURE_PLANES
+            if name != "ids"
+        }
+        planes["ids"] = np.asarray(self.ids, dtype=np.int64)
+        return planes
+
+    @classmethod
+    def from_planes(
+        cls,
+        kernel: TimingKernel,
+        planes: Mapping[str, np.ndarray],
+        corner_names: Sequence[str],
+    ) -> "CompiledTree":
+        """Rebuild a compile from exported planes, skipping ``_eval_net``.
+
+        Structure planes are adopted as-is (read-only shared views are
+        fine — nothing ever writes them); the :attr:`MUTABLE_PLANES`
+        are copied into process-local memory because :meth:`apply_rows`
+        patches them in place on every committed move.  Level partitions
+        are recomputed — they are derived data, cheap next to the per-net
+        scalar compile this path avoids.
+        """
+        self = cls.__new__(cls)
+        self._kernel = kernel
+        by_name = {c.name: c for c in kernel._library.corners}
+        self.corners = tuple(by_name[name] for name in corner_names)
+        self.corner_rows = np.array(
+            [kernel._corner_row[name] for name in corner_names], dtype=np.int64
+        )
+        self.corner_pos = {name: k for k, name in enumerate(corner_names)}
+        self.C = len(self.corners)
+        self.ids = [int(nid) for nid in planes["ids"]]
+        self.index = {nid: i for i, nid in enumerate(self.ids)}
+        self.n = len(self.ids)
+        self.root_pos = 0
+        for name in cls.STRUCTURE_PLANES:
+            if name != "ids":
+                setattr(self, name, planes[name])
+        for name in cls.MUTABLE_PLANES:
+            setattr(self, name, np.array(planes[name], copy=True))
+        self.levels = self._build_levels()
+        return self
 
     # ------------------------------------------------------------------
     # Per-net scalar evaluation (compile time; shared with row overrides)

@@ -364,7 +364,14 @@ class TestFallbacks:
 class TestResolveWorkers:
     def test_explicit_int_passthrough(self):
         assert resolve_workers(1) == (1, "explicit")
-        assert resolve_workers(4) == (4, "explicit")
+        # The count always passes through exactly; the note calls out
+        # oversubscription when it exceeds the effective CPU count.
+        count, note = resolve_workers(4)
+        assert count == 4
+        if effective_cpu_count() >= 4:
+            assert note == "explicit"
+        else:
+            assert "oversubscribe" in note
 
     def test_auto_sizes_to_effective_cpus(self):
         count, note = resolve_workers("auto")

@@ -10,10 +10,16 @@ The contracts under test:
 * a worker crash mid-batch forfeits only its shard — the caller's
   serial fallback produces correct results and the pool is rebuilt to
   full strength for the next batch;
-* the parallel local-opt trajectory is identical to the serial one.
+* the parallel local-opt trajectory is identical to the serial one;
+* the shm backend — arena-born replicas, the event-driven overlapped
+  scheduler, mid-steal crash requeue, and delta compaction — produces
+  byte-identical verdicts and trajectories to the pipe reference, and
+  leaves no orphaned /dev/shm segments behind.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -25,10 +31,23 @@ from repro.parallel import (
     ParallelVerifier,
     Replica,
     ReplicaSpec,
+    SharedPlaneArena,
     WorkerPool,
+    attach,
     merge_sharded_outcome,
+    publish_replica_arena,
 )
+from repro.parallel.pool import effective_cpu_count, resolve_workers
 from repro.testcases.mini import build_mini
+
+
+def _own_shm_segments():
+    """This process's arena segments currently backed in /dev/shm."""
+    prefix = f"repro-arena-{os.getpid()}-"
+    try:
+        return sorted(f for f in os.listdir("/dev/shm") if f.startswith(prefix))
+    except FileNotFoundError:  # non-Linux: nothing to assert against
+        return []
 
 
 @pytest.fixture(scope="module")
@@ -285,3 +304,217 @@ class TestParallelLocalOpt:
                 want_tv, want_degraded = serial_verdict(problem, tree, move)
                 assert tv == want_tv
                 assert degraded == want_degraded
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arena
+# ----------------------------------------------------------------------
+class TestSharedArena:
+    def test_arena_replica_bit_identical_to_pipe_replica(self, problem, moves):
+        tree = problem.design.tree.clone()
+        problem.evaluate(tree)  # attach the main engine (kernel planes)
+        spec = ReplicaSpec.from_problem(problem, tree)
+        arena = SharedPlaneArena(tag="test")
+        try:
+            publish_replica_arena(
+                arena, spec, tree, engine=problem.engine(), baseline_index=0
+            )
+            view = attach(arena.name)
+            try:
+                shared = Replica.from_arena(view)
+                fresh = Replica(spec)
+                a, b = shared.evaluate(), fresh.evaluate()
+                assert a.total_variation == b.total_variation
+                assert a.latencies == b.latencies
+                for index, move in enumerate(moves):
+                    va = shared.verify(index, move)
+                    vb = fresh.verify(index, move)
+                    assert va.total_variation == vb.total_variation
+                    assert va.degraded == vb.degraded
+            finally:
+                view.close()
+        finally:
+            arena.close()
+        assert _own_shm_segments() == []
+
+    def test_generation_republish_unlinks_previous(self, problem):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        arena = SharedPlaneArena(tag="gen")
+        try:
+            first = publish_replica_arena(arena, spec, tree)
+            assert arena.generation == 1
+            second = publish_replica_arena(arena, spec, tree)
+            assert arena.generation == 2
+            assert first != second
+            segments = _own_shm_segments()
+            assert any(second in name for name in segments)
+            assert not any(first in name for name in segments)
+            view = attach(arena.name)
+            assert view.generation == 2
+            view.close()
+        finally:
+            arena.close()
+        assert _own_shm_segments() == []
+
+    def test_oversubscription_note(self):
+        cpus = effective_cpu_count()
+        count, note = resolve_workers(cpus + 1)
+        assert count == cpus + 1
+        assert "oversubscribe" in note
+        count, note = resolve_workers(cpus)
+        assert count == cpus
+        assert note == "explicit"
+
+
+# ----------------------------------------------------------------------
+# shm backend: overlapped scheduler, crash requeue, compaction
+# ----------------------------------------------------------------------
+class TestShmPool:
+    def _verifier(self, problem, tree, workers=2, **kwargs):
+        return ParallelVerifier(
+            problem, tree, workers=workers, backend="shm", **kwargs
+        )
+
+    def test_shm_verify_batch_matches_serial(self, problem, moves):
+        tree = problem.design.tree.clone()
+        with self._verifier(problem, tree) as verifier:
+            verdicts = verifier.verify_batch(tree, list(moves))
+            stats = verifier.stats_dict()
+            assert stats["backend"] == "shm"
+            assert stats["arena_generation"] == 1
+            assert stats["serial_fallbacks"] == 0
+        for move, verdict in zip(moves, verdicts):
+            assert verdict == serial_verdict(problem, tree, move)
+
+    def test_crash_mid_steal_requeues_and_respawns(self, problem, moves):
+        tree = problem.design.tree.clone()
+        with self._verifier(problem, tree) as verifier:
+            pool = verifier._pool
+            # Arm worker 0 to die with its next verify task in flight:
+            # the overlapped scheduler must requeue that task to the
+            # survivor — no verdict is forfeited, no serial fallback.
+            pool.crash_worker_after(0, 0)
+            verdicts = verifier.verify_batch(tree, list(moves))
+            stats = verifier.stats_dict()
+            assert stats["requeued"] > 0
+            assert stats["crashes"] == 1
+            assert stats["failed_shards"] == 0
+            assert stats["serial_fallbacks"] == 0
+            # Respawned back to strength; the fresh worker adopted the
+            # live arena generation and verifies correctly.
+            assert pool.alive_workers() == 2
+            again = verifier.verify_batch(tree, list(moves))
+        for move, verdict in zip(moves, verdicts):
+            assert verdict == serial_verdict(problem, tree, move)
+        assert again == verdicts
+        assert _own_shm_segments() == []
+
+    def test_delta_compaction_republishes_baseline(self, problem, moves):
+        tree = problem.design.tree.clone()
+        with self._verifier(problem, tree, compact_every=2) as verifier:
+            pool = verifier._pool
+            committed = 0
+            for move in moves:
+                try:
+                    problem.commit_move(tree, move)
+                except Exception:
+                    continue
+                verifier.record_commit(move, tree=tree)
+                committed += 1
+                # Interleave a batch so the live workers' watermarks
+                # advance past the prefix the compactor wants to drop.
+                verdicts = verifier.verify_batch(tree, list(moves[:2]))
+                for move_, verdict in zip(moves[:2], verdicts):
+                    assert verdict == serial_verdict(problem, tree, move_)
+                if committed == 4:
+                    break
+            assert committed == 4
+            stats = verifier.stats_dict()
+            assert stats["arena_generation"] > 1
+            assert stats["compactions"] >= 1
+            assert stats["retained_deltas"] < pool.committed
+            # Fresh workers replay only the delta suffix from the
+            # republished baseline — crash both and re-verify.
+            pool.crash_worker(0)
+            pool.crash_worker(1)
+            verifier.verify_batch(tree, list(moves[:2]))  # forfeits, rebuilds
+            verdicts = verifier.verify_batch(tree, list(moves[:2]))
+            for move, verdict in zip(moves[:2], verdicts):
+                assert verdict == serial_verdict(problem, tree, move)
+        assert _own_shm_segments() == []
+
+    def test_call_overlapped_migrates_queued_payloads(self, problem):
+        tree = problem.design.tree.clone()
+        spec = ReplicaSpec.from_problem(problem, tree)
+        arena = SharedPlaneArena(tag="call")
+        try:
+            publish_replica_arena(arena, spec, tree)
+            with WorkerPool(2, spec=spec, backend="shm", arena=arena) as pool:
+                assert pool.call("builtins:len", [[1], [1, 2], [], [1, 2, 3]]) == [
+                    1,
+                    2,
+                    0,
+                    3,
+                ]
+                # A worker dead *before* the scatter forfeits nothing:
+                # its queued payloads migrate to the survivor.
+                pool.crash_worker(0)
+                results = pool.call("builtins:len", [[1]] * 5)
+                assert results == [1] * 5
+                assert pool.alive_workers() == 2
+        finally:
+            arena.close()
+        assert _own_shm_segments() == []
+
+
+# ----------------------------------------------------------------------
+# shm backend: end-to-end trajectory identity
+# ----------------------------------------------------------------------
+class TestShmLocalOpt:
+    def _run(self, predictor, workers, backend="pipe", top_r=5, iterations=3):
+        prob = SkewVariationProblem.create(build_mini())
+        config = LocalOptConfig(
+            max_iterations=iterations,
+            workers=workers,
+            top_r=top_r,
+            pool_backend=backend,
+        )
+        outcome = LocalOptimizer(prob, predictor, config).run()
+        trajectory = [
+            (
+                repr(record.move),
+                record.predicted_reduction_ps,
+                record.actual_reduction_ps,
+                record.objective_after_ps,
+            )
+            for record in outcome.history
+        ]
+        return trajectory, outcome
+
+    def test_shm_trajectory_identical_to_serial_and_pipe(self, predictor):
+        serial, serial_outcome = self._run(predictor, workers=1)
+        pipe, pipe_outcome = self._run(predictor, workers=2, backend="pipe")
+        shm, shm_outcome = self._run(predictor, workers=2, backend="shm")
+        assert serial == pipe == shm
+        assert (
+            serial_outcome.final_objective_ps
+            == pipe_outcome.final_objective_ps
+            == shm_outcome.final_objective_ps
+        )
+        stats = shm_outcome.stats["parallel"]
+        assert stats["backend"] == "shm"
+        assert stats["serial_fallbacks"] == 0
+        assert _own_shm_segments() == []
+
+    def test_shm_oversubscribed_trajectory_identical(self, predictor):
+        serial, _ = self._run(predictor, workers=1, top_r=2, iterations=2)
+        shm, outcome = self._run(
+            predictor, workers=5, backend="shm", top_r=2, iterations=2
+        )
+        assert serial == shm
+        workers_stats = outcome.stats["workers"]
+        assert workers_stats["requested"] == 5
+        if effective_cpu_count() < 5:
+            assert "oversubscribe" in workers_stats["note"]
+        assert _own_shm_segments() == []
