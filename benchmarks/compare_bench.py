@@ -56,7 +56,12 @@ FLAGS = {
 #: the metric is a bounded contract (the trace-overhead budget), not a
 #: machine-relative ratio, so the fresh value alone is gated.
 CEILINGS = {
-    "BENCH_trace_smoke.json": {"overhead_pct": 2.0},
+    "BENCH_trace_smoke.json": {
+        "overhead_pct": 2.0,
+        # The background resource sampler at its default interval must
+        # fit inside the same traced-overhead budget.
+        "sampler_overhead_pct": 2.0,
+    },
 }
 
 #: file name -> {metric: absolute minimum}.  Floors are baseline-free

@@ -31,25 +31,67 @@ from repro.obs import trace as obs_trace
 TESTCASES = ("MINI", "CLS1v1", "CLS1v2", "CLS2v1")
 
 
+class _TraceSession:
+    """One traced CLI run: tracer + optional sampler + optional profiler."""
+
+    def __init__(self, tracer, sampler, profiler) -> None:
+        self.tracer = tracer
+        self.sampler = sampler
+        self.profiler = profiler
+
+    def finish(self, path: str) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        obs_trace.deactivate()
+        count = self.tracer.write(path)
+        print(f"trace written to {path} ({count} events)")
+        if self.profiler is not None:
+            for sidecar in self.profiler.write_sidecars(path):
+                print(f"profile sidecar written to {sidecar}")
+
+
 def _start_trace(args: argparse.Namespace, command: str):
-    """Activate a run tracer when ``--trace-out`` was given (else None)."""
+    """Activate a run tracer when ``--trace-out`` was given (else None).
+
+    Also starts the background resource sampler (on by default for
+    traced runs; ``--sample-interval 0`` disables it) and attaches the
+    ``--profile`` span profiler when requested.
+    """
     if not getattr(args, "trace_out", None):
+        if getattr(args, "profile", None):
+            print(
+                "repro: --profile requires --trace-out (the profile "
+                "sidecars are written next to the trace)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
         return None
     tracer = obs_trace.activate(obs_trace.Tracer())
     tracer.meta(
         command=command,
         argv=[a for a in (sys.argv[1:] or []) if a],
     )
-    return tracer
+    profiler = None
+    pattern = getattr(args, "profile", None)
+    if pattern:
+        from repro.obs.profile import SpanProfiler
+
+        profiler = SpanProfiler(pattern)
+        tracer.profiler = profiler
+    sampler = None
+    interval = getattr(args, "sample_interval", 0.0)
+    if interval and interval > 0:
+        from repro.obs.sampler import ResourceSampler
+
+        sampler = ResourceSampler(tracer, interval_s=interval).start()
+    return _TraceSession(tracer, sampler, profiler)
 
 
-def _finish_trace(tracer, path: str) -> None:
+def _finish_trace(session, path: str) -> None:
     """Deactivate and write the run trace (no-op when untraced)."""
-    if tracer is None:
+    if session is None:
         return
-    obs_trace.deactivate()
-    count = tracer.write(path)
-    print(f"trace written to {path} ({count} events)")
+    session.finish(path)
 
 
 def _workers_arg(value: str):
@@ -320,7 +362,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             else:
                 from repro.obs.merge import merge_worker_events
 
-                with WorkerPool(jobs) as pool:
+                with WorkerPool(jobs, tag="batch") as pool:
                     results = pool.call("repro.cli:_batch_one", payloads)
                     active = obs_trace.active()
                     if active.enabled:
@@ -361,13 +403,65 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_reportable(path: str, check_health: bool = True):
+    """Load a trace for reporting; returns (events, error_message)."""
+    from repro.obs.merge import load_events
+    from repro.obs.report import trace_health
+
+    try:
+        events = load_events(path)
+    except OSError as exc:
+        return None, f"{path}: cannot read trace ({exc})"
+    except ValueError as exc:
+        return None, f"{path}: not a JSONL trace ({exc})"
+    if check_health:
+        health = trace_health(events)
+        if health is not None:
+            return None, f"{path}: {health}"
+    return events, None
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    """Summarize a ``--trace-out`` JSONL trace (phases, hotspots, caches)."""
-    from repro.obs.merge import load_events, span_tree
+    """Summarize a ``--trace-out`` JSONL trace (phases, hotspots, caches).
+
+    Degrades gracefully: an unreadable, meta-less or zero-span trace
+    prints one clear message and exits 2 instead of raising.
+    """
+    from repro.obs.merge import span_tree
     from repro.obs.report import render_report
     from repro.obs.schema import validate_events
 
-    events = load_events(args.trace)
+    if args.perf_diff:
+        from repro.obs.sentinel import render_perf_diff
+
+        path_a, path_b = args.perf_diff
+        events_a, error = _load_reportable(path_a)
+        if error is None:
+            events_b, error = _load_reportable(path_b)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        print(
+            render_perf_diff(
+                events_a, events_b, label_a=path_a, label_b=path_b,
+                top=args.top,
+            )
+        )
+        return 0
+
+    if not args.trace:
+        print(
+            "repro report: one of --trace or --perf-diff is required",
+            file=sys.stderr,
+        )
+        return 2
+    # Schema validation (when asked for) runs before the health gate —
+    # a malformed trace should fail with its schema errors (exit 1),
+    # not the softer "not a run trace" message.
+    events, error = _load_reportable(args.trace, check_health=not args.validate)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     if args.validate:
         errors = validate_events(events)
         if errors:
@@ -375,8 +469,22 @@ def cmd_report(args: argparse.Namespace) -> int:
                 print(f"{args.trace}: {error}", file=sys.stderr)
             return 1
         print(f"{args.trace}: schema OK ({len(events)} events)")
+        from repro.obs.report import trace_health
+
+        health = trace_health(events)
+        if health is not None:
+            print(f"{args.trace}: {health}", file=sys.stderr)
+            return 2
     if args.compare_tree:
-        other = span_tree(load_events(args.compare_tree))
+        # The reference only contributes its span tree — it may be a
+        # synthetic skeleton without meta/metrics, so skip the health gate.
+        other_events, error = _load_reportable(
+            args.compare_tree, check_health=False
+        )
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        other = span_tree(other_events)
         mine = span_tree(events)
         if mine != other:
             print(
@@ -388,7 +496,43 @@ def cmd_report(args: argparse.Namespace) -> int:
                 print(f"  only in {where}: {path}", file=sys.stderr)
             return 1
         print(f"span trees identical ({len(mine)} paths)")
+    if args.chrome_out:
+        from repro.obs.export import write_chrome_trace
+
+        count = write_chrome_trace(events, args.chrome_out)
+        print(
+            f"Chrome trace-event JSON written to {args.chrome_out} "
+            f"({count} events; load in Perfetto or chrome://tracing)"
+        )
     print(render_report(events, top=args.top))
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    """Flag metric drift across a history of BENCH_*.json artifacts."""
+    from repro.obs.sentinel import load_bench_history, render_trend
+
+    try:
+        history = load_bench_history(args.files)
+    except OSError as exc:
+        print(f"repro trend: cannot read bench payload ({exc})", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro trend: {exc}", file=sys.stderr)
+        return 2
+    table, failures = render_trend(history, band=args.band)
+    print(table)
+    if failures:
+        for failure in failures:
+            print(f"TREND FAIL: {failure}", file=sys.stderr)
+        return 1
+    if not any(len(records) >= 2 for records in history.values()):
+        print(
+            "repro trend: no bench appears twice (group = file basename); "
+            "nothing was compared",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
@@ -416,6 +560,32 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Shared telemetry flags for traced subcommands."""
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help=(
+            "resource-sampler interval for traced runs: RSS/CPU/arena/"
+            "pool gauges stream into their own trace lane (0 disables; "
+            "default 0.1s, inside the 2%% traced-overhead budget)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="SPAN_GLOB",
+        help=(
+            "profile spans whose name matches this glob under cProfile; "
+            "writes <trace>.profile.txt (top-N cumulative) and "
+            "<trace>.folded (flamegraph collapsed stacks) next to the "
+            "trace (requires --trace-out)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -473,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a span/metric trace of the run as JSONL (see 'repro report')",
     )
+    _add_telemetry_args(p_opt)
     p_opt.add_argument(
         "--wire-backend",
         default="kernel",
@@ -514,11 +685,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a span/metric trace of the batch as JSONL",
     )
+    _add_telemetry_args(p_batch)
 
     p_report = sub.add_parser(
         "report", help="summarize a trace file written with --trace-out"
     )
-    p_report.add_argument("--trace", required=True, help="JSONL trace file")
+    p_report.add_argument("--trace", default=None, help="JSONL trace file")
     p_report.add_argument(
         "--top", type=int, default=10, help="hotspot rows to show"
     )
@@ -531,6 +703,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-tree",
         default=None,
         help="second trace; fail unless both have the same span tree",
+    )
+    p_report.add_argument(
+        "--perf-diff",
+        nargs=2,
+        default=None,
+        metavar=("A.jsonl", "B.jsonl"),
+        help=(
+            "diff two traces by canonical span path and rank per-path "
+            "self-time regressions/improvements (lane-normalized); "
+            "replaces the normal report output"
+        ),
+    )
+    p_report.add_argument(
+        "--chrome-out",
+        default=None,
+        metavar="OUT.json",
+        help=(
+            "also export the trace as Chrome trace-event JSON "
+            "(loads in Perfetto / chrome://tracing)"
+        ),
+    )
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="flag metric drift across nightly BENCH_*.json artifacts",
+    )
+    p_trend.add_argument(
+        "files",
+        nargs="+",
+        metavar="BENCH.json",
+        help=(
+            "bench payloads in history order (grouped by basename; "
+            "the last record of each group is checked against the "
+            "median of its predecessors)"
+        ),
+    )
+    p_trend.add_argument(
+        "--band",
+        type=float,
+        default=0.25,
+        help=(
+            "relative drift tolerance (default 0.25 = 25%%): speedups "
+            "dropping or overheads rising beyond it fail"
+        ),
     )
 
     p_train = sub.add_parser("train", help="train and score a predictor")
@@ -551,6 +767,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "batch": cmd_batch,
         "report": cmd_report,
+        "trend": cmd_trend,
     }
     return handlers[args.command](args)
 

@@ -342,6 +342,7 @@ class GlobalOptimizer:
                 mp_context=cfg.mp_context,
                 backend=cfg.pool_backend,
                 arena=arena,
+                tag="sweep",
             )
         try:
             return self._run(tree, pool, ctx)
@@ -427,6 +428,13 @@ class GlobalOptimizer:
                     total_arcs += best_stats[1]
                     total_committed += best_stats[2]
                     total_reverted += best_stats[3]
+                # Per-iteration objective time series (counter track in
+                # the Perfetto export; trendable by the sentinel).
+                tracer.metric(
+                    "global_opt.objective_ps",
+                    round(current_result.total_variation, 6),
+                    kind="gauge",
+                )
             run_span.set(
                 arcs=total_arcs,
                 committed=total_committed,

@@ -223,6 +223,13 @@ class LocalOptimizer:
                                 break
                         if not committed:
                             break
+                    # Per-iteration objective time series (renders as a
+                    # Perfetto counter track; the sentinel can trend it).
+                    tracer.metric(
+                        "local_opt.objective_ps",
+                        round(result.total_variation, 6),
+                        kind="gauge",
+                    )
                 run_span.set(
                     iterations=len(history),
                     reduction_ps=round(initial - result.total_variation, 6),

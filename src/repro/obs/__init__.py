@@ -11,7 +11,16 @@ Public surface:
 * :mod:`repro.obs.merge` — worker-lane event merging and the canonical
   :func:`span_tree` used by the CI determinism check;
 * :mod:`repro.obs.schema` — trace event validation (v1);
-* :mod:`repro.obs.report` — the ``repro report`` renderer.
+* :mod:`repro.obs.report` — the ``repro report`` renderer;
+* :mod:`repro.obs.sampler` — :class:`ResourceSampler`, a background
+  thread emitting RSS/CPU/arena/pool gauge time series into its own
+  trace lane;
+* :mod:`repro.obs.profile` — :class:`SpanProfiler`, opt-in cProfile
+  wrapping of glob-matched spans with flamegraph/top-N sidecars;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  Prometheus text exporters;
+* :mod:`repro.obs.sentinel` — trace perf-diffs by canonical span path
+  and nightly bench-trend drift detection.
 """
 
 from repro.obs.trace import (
@@ -21,13 +30,23 @@ from repro.obs.trace import (
     Tracer,
     activate,
     active,
+    allocate_lane,
     deactivate,
     tracing,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.merge import load_events, merge_worker_events, span_paths, span_tree
 from repro.obs.schema import validate_event, validate_events, validate_file
-from repro.obs.report import render_report, render_report_file
+from repro.obs.report import path_self_times, render_report, render_report_file
+from repro.obs.sampler import ResourceSampler
+from repro.obs.profile import SpanProfiler
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.sentinel import perf_diff_rows, render_perf_diff, trend_rows
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -36,6 +55,7 @@ __all__ = [
     "Tracer",
     "activate",
     "active",
+    "allocate_lane",
     "deactivate",
     "tracing",
     "MetricsRegistry",
@@ -46,6 +66,16 @@ __all__ = [
     "validate_event",
     "validate_events",
     "validate_file",
+    "path_self_times",
     "render_report",
     "render_report_file",
+    "ResourceSampler",
+    "SpanProfiler",
+    "chrome_trace_events",
+    "prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "perf_diff_rows",
+    "render_perf_diff",
+    "trend_rows",
 ]

@@ -1,0 +1,178 @@
+"""Opt-in stage-attributed profiling for traced runs.
+
+``repro optimize ... --trace-out t.jsonl --profile 'iteration'`` wraps
+every span whose name matches the glob in :mod:`cProfile` and writes two
+sidecar files next to the trace:
+
+* ``<trace>.profile.txt`` — per-span-name top-N cumulative tables
+  (plain ``pstats`` output), one section per profiled span name;
+* ``<trace>.folded`` — collapsed call stacks in the standard
+  ``caller;...;callee <microseconds>`` flamegraph input format
+  (``flamegraph.pl`` / speedscope / inferno all accept it).
+
+Attribution model
+-----------------
+A :class:`SpanProfiler` attaches to a :class:`~repro.obs.trace.Tracer`
+(``tracer.profiler = profiler``); the tracer calls :meth:`enter` /
+:meth:`exit` around each span body.  One ``cProfile.Profile`` object
+accumulates per span *name* across all of that span's invocations, so
+``iteration`` profiled over 20 iterations yields one merged profile.
+cProfile cannot nest, so when matching spans nest (``local_opt`` inside
+``global_iteration`` with pattern ``*``) only the outermost match
+profiles — inner spans are already covered by the running profiler.
+
+Collapsed stacks are reconstructed from the cProfile caller graph:
+deterministic profiling records exact per-edge self time (the callee's
+tt attributed to each caller) but not full stacks, so multi-level paths
+distribute each edge proportionally to how the caller's own cumulative
+time splits across *its* callers.  That is the standard flamegraph
+approximation for cProfile data — exact for tree-shaped call graphs,
+proportional where a function has several callers.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Tuple
+
+#: Depth cap for collapsed-stack reconstruction (cycle/explosion guard).
+_MAX_DEPTH = 48
+
+#: Drop collapsed entries below this many microseconds (noise floor).
+_MIN_USEC = 1
+
+
+def _frame_label(func: Tuple[str, int, str]) -> str:
+    """``name (file:line)`` with the separators flamegraphs reserve."""
+    filename, lineno, name = func
+    if filename == "~":  # C functions / builtins
+        return name.strip("<>").replace(";", ",")
+    base = filename.rsplit("/", 1)[-1]
+    return f"{name} ({base}:{lineno})".replace(";", ",")
+
+
+class SpanProfiler:
+    """Glob-matched span profiler; attach via ``tracer.profiler``."""
+
+    def __init__(self, pattern: str, top: int = 30) -> None:
+        self.pattern = pattern
+        self.top = top
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        self._calls: Dict[str, int] = {}
+        self._active: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Tracer hooks
+    # ------------------------------------------------------------------
+    def enter(self, name: str) -> Optional[str]:
+        """Start profiling ``name`` if it matches and nothing is active."""
+        if self._active is not None or not fnmatchcase(name, self.pattern):
+            return None
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = self._profiles[name] = cProfile.Profile()
+        self._active = name
+        self._calls[name] = self._calls.get(name, 0) + 1
+        profile.enable()
+        return name
+
+    def exit(self, token: str) -> None:
+        self._profiles[token].disable()
+        self._active = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def profiled_spans(self) -> List[str]:
+        return sorted(self._profiles)
+
+    def calls(self, name: str) -> int:
+        return self._calls.get(name, 0)
+
+    def report(self) -> str:
+        """Top-N cumulative tables, one section per profiled span name."""
+        sections = []
+        for name in self.profiled_spans:
+            buffer = io.StringIO()
+            stats = pstats.Stats(self._profiles[name], stream=buffer)
+            stats.sort_stats("cumulative").print_stats(self.top)
+            sections.append(
+                f"== span {name!r} x{self._calls.get(name, 0)} "
+                f"(pattern {self.pattern!r}, top {self.top} cumulative) ==\n"
+                + buffer.getvalue().strip()
+            )
+        if not sections:
+            return f"(no spans matched profile pattern {self.pattern!r})"
+        return "\n\n".join(sections)
+
+    def collapsed(self) -> str:
+        """All profiled spans as flamegraph-ready collapsed stacks."""
+        lines: Dict[str, int] = {}
+        for name in self.profiled_spans:
+            stats = pstats.Stats(self._profiles[name]).stats
+            _collapse(stats, f"span:{name}", lines)
+        return "\n".join(
+            f"{path} {usec}"
+            for path, usec in sorted(lines.items())
+            if usec >= _MIN_USEC
+        )
+
+    def write_sidecars(self, trace_path: str) -> List[str]:
+        """Write both sidecars next to ``trace_path``; returns the paths."""
+        report_path = f"{trace_path}.profile.txt"
+        folded_path = f"{trace_path}.folded"
+        with open(report_path, "w") as handle:
+            handle.write(self.report() + "\n")
+        with open(folded_path, "w") as handle:
+            handle.write(self.collapsed() + "\n")
+        return [report_path, folded_path]
+
+
+def _collapse(
+    stats: Dict, root_label: str, lines: Dict[str, int]
+) -> None:
+    """Fold one cProfile stats dict into ``lines`` under ``root_label``.
+
+    ``stats`` maps func -> (cc, nc, tt, ct, callers) where ``callers``
+    maps each caller to that edge's (cc, nc, tt, ct).  Functions with no
+    recorded caller are roots.  Each function's self time is attributed
+    along caller chains, splitting proportionally by per-caller edge
+    cumulative time when a function has several callers.
+    """
+    edges_in: Dict = {}  # func -> {caller: (edge_tt, edge_ct)}
+    children: Dict = {}  # caller -> [func, ...]
+    for func, (_cc, _nc, _tt, _ct, callers) in stats.items():
+        edges_in[func] = {
+            caller: (float(entry[2]), float(entry[3]))
+            for caller, entry in callers.items()
+        }
+        for caller in callers:
+            children.setdefault(caller, []).append(func)
+
+    def walk(func, path: Tuple[str, ...], scale: float, depth: int) -> None:
+        if scale <= 0.0 or depth > _MAX_DEPTH:
+            return
+        label = _frame_label(func)
+        if label in path:  # recursion: fold the cycle into one frame
+            return
+        here = path + (label,)
+        _cc, _nc, tt, _ct, _callers = stats[func]
+        usec = int(round(float(tt) * scale * 1e6))
+        if usec:
+            key = ";".join(here)
+            lines[key] = lines.get(key, 0) + usec
+        for child in children.get(func, ()):
+            _edge_tt, edge_ct = edges_in[child][func]
+            # Fraction of the child's own activity flowing through this
+            # path: (child time via func) / (child total), scaled by the
+            # fraction of func's activity already on the path.
+            child_ct = max(float(stats[child][3]), 1e-12)
+            walk(child, here, scale * (edge_ct / child_ct), depth + 1)
+
+    for func, callers in edges_in.items():
+        if not callers:
+            walk(func, (root_label,), 1.0, 1)

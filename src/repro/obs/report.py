@@ -77,10 +77,16 @@ def phase_rows(events: List[Mapping[str, object]]) -> List[List[str]]:
     return rows
 
 
-def hotspot_rows(
-    events: List[Mapping[str, object]], top: int = 10
-) -> List[List[str]]:
-    """Top-N span paths by total self time: [path, count, self s, avg ms]."""
+def path_self_times(
+    events: List[Mapping[str, object]],
+) -> Dict[str, Tuple[int, float, int]]:
+    """Per canonical span path: (span count, self seconds, distinct lanes).
+
+    The path is the slash-joined name chain from the root (same
+    canonicalization as :func:`repro.obs.merge.span_paths`); lanes count
+    how many workers contributed spans on that path — the sentinel's
+    worker-count normalization divides by it.
+    """
     spans = _self_times(events)
     paths: Dict[_SpanKey, str] = {}
 
@@ -96,17 +102,50 @@ def hotspot_rows(
         paths[key] = path
         return path
 
-    per_path: Dict[str, Tuple[int, float]] = {}
+    counts: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    lanes: Dict[str, set] = {}
     for key, (_name, _parent, _phase, self_s) in spans.items():
         path = path_of(key)
-        count, seconds = per_path.get(path, (0, 0.0))
-        per_path[path] = (count + 1, seconds + self_s)
+        counts[path] = counts.get(path, 0) + 1
+        seconds[path] = seconds.get(path, 0.0) + self_s
+        lanes.setdefault(path, set()).add(key[0])
+    return {
+        path: (counts[path], seconds[path], len(lanes[path]))
+        for path in counts
+    }
+
+
+def hotspot_rows(
+    events: List[Mapping[str, object]], top: int = 10
+) -> List[List[str]]:
+    """Top-N span paths by total self time: [path, count, self s, avg ms]."""
+    per_path = path_self_times(events)
     ranked = sorted(per_path.items(), key=lambda item: (-item[1][1], item[0]))
     rows = []
-    for path, (count, seconds) in ranked[:top]:
+    for path, (count, seconds, _lanes) in ranked[:top]:
         avg_ms = 1000.0 * seconds / count if count else 0.0
         rows.append([path, str(count), f"{seconds:.4f}", f"{avg_ms:.3f}"])
     return rows
+
+
+def trace_health(events: List[Mapping[str, object]]) -> Optional[str]:
+    """None when the trace is reportable, else a human-readable reason.
+
+    ``repro report`` refuses (clear message, exit 2) instead of raising
+    on truncated or foreign files: a reportable trace needs at least one
+    ``meta`` event (it identifies the run and schema version) and at
+    least one span.
+    """
+    if not events:
+        return "empty trace (no events)"
+    if not any(e.get("type") == "meta" for e in events if isinstance(e, Mapping)):
+        return "no meta event — not a repro run trace (or truncated)"
+    if not any(
+        e.get("type") == "span_start" for e in events if isinstance(e, Mapping)
+    ):
+        return "zero spans — nothing to report (trace from an aborted run?)"
+    return None
 
 
 def cache_rows(events: List[Mapping[str, object]]) -> List[List[str]]:

@@ -21,6 +21,14 @@ span left open at end of trace, parent references resolve to a span
 that appears in the trace.  Run as a module to validate files::
 
     python -m repro.obs.schema trace.jsonl [more.jsonl ...]
+
+Exit-code contract (stable; CI and scripts rely on it):
+
+* ``0`` — every given file parsed and validated cleanly;
+* ``1`` — at least one file contains schema or structural violations
+  (each is printed to stderr as ``<path>: <error>``);
+* ``2`` — usage error: no files given, or a file could not be read at
+  all (missing, permission denied).  Unreadable trumps invalid.
 """
 
 from __future__ import annotations
@@ -180,15 +188,21 @@ def validate_file(path: str) -> List[str]:
 
 
 def main(argv=None) -> int:
+    """Validate trace files; see the module docstring for exit codes."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
         print("usage: python -m repro.obs.schema TRACE.jsonl [...]", file=sys.stderr)
         return 2
     status = 0
     for path in argv:
-        errors = validate_file(path)
+        try:
+            errors = validate_file(path)
+        except OSError as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            status = 2
+            continue
         if errors:
-            status = 1
+            status = max(status, 1)
             for error in errors:
                 print(f"{path}: {error}", file=sys.stderr)
         else:

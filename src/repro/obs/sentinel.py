@@ -1,0 +1,247 @@
+"""Performance-regression sentinel: trace diffs and bench-trend drift.
+
+Two analyses back the CLI:
+
+* ``repro report --perf-diff A.jsonl B.jsonl`` — :func:`perf_diff_rows`
+  aligns two traces by canonical span path (the worker-count-invariant
+  slash-joined name chain) and reports per-path *self*-time deltas.
+  Self time pinpoints the stage that actually slowed down — a slowdown
+  inside ``iteration/featurize`` shows up there, not smeared over every
+  ancestor's total.  Each path's seconds are normalized by the number
+  of lanes that executed it, so a 4-worker trace's fanned-out ``verify``
+  time compares against a 1-worker run like-for-like.
+* ``repro trend BENCH_a.json BENCH_b.json ...`` — :func:`trend_rows`
+  groups the nightly ``BENCH_*.json`` artifacts by file basename (one
+  group per bench, argument order = history order) and flags drift of
+  the tracked metrics beyond a configurable band: any ``*speedup*``
+  metric dropping, or any ``*overhead*`` metric rising, by more than
+  ``band`` relative to the median of the preceding history fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from statistics import median
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.obs.report import path_self_times
+
+#: Relative drift tolerance for ``repro trend`` (matching the 25%
+#: ``compare_bench`` gate).
+DEFAULT_BAND = 0.25
+
+
+# ----------------------------------------------------------------------
+# Trace perf-diff
+# ----------------------------------------------------------------------
+def perf_diff_rows(
+    events_a: List[Mapping[str, object]],
+    events_b: List[Mapping[str, object]],
+    top: int = 10,
+) -> Tuple[List[List[str]], List[List[str]]]:
+    """(regressions, improvements) rows ranked by normalized self-time delta.
+
+    Row shape: [path, A seconds, B seconds, delta seconds, delta %].
+    Seconds are lane-normalized; a path present in only one trace uses
+    0.0 on the other side (new/removed stages rank by absolute cost).
+    """
+    times_a = path_self_times(events_a)
+    times_b = path_self_times(events_b)
+    deltas: List[Tuple[float, str, float, float]] = []
+    for path in sorted(set(times_a) | set(times_b)):
+        _count_a, secs_a, lanes_a = times_a.get(path, (0, 0.0, 1))
+        _count_b, secs_b, lanes_b = times_b.get(path, (0, 0.0, 1))
+        norm_a = secs_a / max(lanes_a, 1)
+        norm_b = secs_b / max(lanes_b, 1)
+        deltas.append((norm_b - norm_a, path, norm_a, norm_b))
+
+    def rows_for(
+        entries: List[Tuple[float, str, float, float]]
+    ) -> List[List[str]]:
+        rows = []
+        for delta, path, norm_a, norm_b in entries[:top]:
+            pct = 100.0 * delta / norm_a if norm_a > 0 else float("inf")
+            pct_text = f"{pct:+.1f}%" if norm_a > 0 else "new"
+            rows.append(
+                [
+                    path,
+                    f"{norm_a:.4f}",
+                    f"{norm_b:.4f}",
+                    f"{delta:+.4f}",
+                    pct_text,
+                ]
+            )
+        return rows
+
+    regressions = sorted(
+        (entry for entry in deltas if entry[0] > 0.0),
+        key=lambda entry: (-entry[0], entry[1]),
+    )
+    improvements = sorted(
+        (entry for entry in deltas if entry[0] < 0.0),
+        key=lambda entry: (entry[0], entry[1]),
+    )
+    return rows_for(regressions), rows_for(improvements)
+
+
+def render_perf_diff(
+    events_a: List[Mapping[str, object]],
+    events_b: List[Mapping[str, object]],
+    label_a: str = "A",
+    label_b: str = "B",
+    top: int = 10,
+) -> str:
+    """The full ``repro report --perf-diff`` text."""
+    total_a = sum(s for _c, s, _l in path_self_times(events_a).values())
+    total_b = sum(s for _c, s, _l in path_self_times(events_b).values())
+    delta = total_b - total_a
+    pct = 100.0 * delta / total_a if total_a > 0 else 0.0
+    regressions, improvements = perf_diff_rows(events_a, events_b, top=top)
+    header = (
+        f"perf-diff: {label_a} -> {label_b} | total self time "
+        f"{total_a:.4f}s -> {total_b:.4f}s ({delta:+.4f}s, {pct:+.1f}%) | "
+        "per-path seconds are lane-normalized"
+    )
+    headers = ["span path", f"{label_a} s", f"{label_b} s", "delta s", "delta"]
+    sections = [header]
+    sections.append(
+        render_table(
+            f"top {top} regressions",
+            headers,
+            regressions or [["(none)", "-", "-", "-", "-"]],
+        )
+    )
+    sections.append(
+        render_table(
+            f"top {top} improvements",
+            headers,
+            improvements or [["(none)", "-", "-", "-", "-"]],
+        )
+    )
+    return "\n\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Bench-trend drift
+# ----------------------------------------------------------------------
+def metric_direction(name: str) -> Optional[str]:
+    """Tracked direction for a bench metric name, or None (untracked).
+
+    ``"higher"`` — bigger is better (speedups); ``"lower"`` — smaller is
+    better (overheads).  Raw walls/counts are untracked: they move with
+    the runner and the workload shape, and ``compare_bench`` already
+    gates the derived ratios.
+    """
+    lowered = name.lower()
+    if "speedup" in lowered:
+        return "higher"
+    if "overhead" in lowered:
+        return "lower"
+    return None
+
+
+def load_bench_history(
+    paths: Sequence[str],
+) -> Dict[str, List[Tuple[str, Mapping[str, object]]]]:
+    """Group BENCH json payloads by basename, preserving argument order."""
+    history: Dict[str, List[Tuple[str, Mapping[str, object]]]] = {}
+    for path in paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, Mapping):
+            raise ValueError(f"{path}: bench payload is not an object")
+        history.setdefault(os.path.basename(path), []).append((path, payload))
+    return history
+
+
+def trend_rows(
+    history: Dict[str, List[Tuple[str, Mapping[str, object]]]],
+    band: float = DEFAULT_BAND,
+) -> Tuple[List[List[str]], List[str]]:
+    """(table rows, failure strings) for every tracked metric series.
+
+    For each bench group with >= 2 records, the latest value of every
+    tracked metric is compared against the median of all preceding
+    records.  Drift beyond ``band`` in the bad direction fails.
+    Row shape: [bench, metric, baseline, latest, drift, status].
+    """
+    rows: List[List[str]] = []
+    failures: List[str] = []
+    for bench in sorted(history):
+        records = history[bench]
+        if len(records) < 2:
+            rows.append(
+                [bench, "(single record)", "-", "-", "-", "skipped"]
+            )
+            continue
+        *prior, (latest_path, latest) = records
+        names = sorted(
+            {
+                name
+                for _path, payload in records
+                for name in payload
+                if metric_direction(name) is not None
+            }
+        )
+        for name in names:
+            direction = metric_direction(name)
+            prior_values = [
+                float(payload[name])
+                for _path, payload in prior
+                if isinstance(payload.get(name), (int, float))
+                and not isinstance(payload.get(name), bool)
+            ]
+            value = latest.get(name)
+            if not prior_values or not isinstance(value, (int, float)):
+                rows.append([bench, name, "-", "-", "-", "skipped"])
+                continue
+            baseline = median(prior_values)
+            value = float(value)
+            if baseline != 0.0:
+                drift = (value - baseline) / abs(baseline)
+                drift_text = f"{100.0 * drift:+.1f}%"
+                bad = (direction == "higher" and drift < -band) or (
+                    direction == "lower" and drift > band
+                )
+                status = "FAIL" if bad else "ok"
+            else:
+                # Relative drift is undefined at a zero baseline (a 0%
+                # overhead ticking up to any value would read as infinite
+                # drift); report the absolute move but never gate on it —
+                # absolute contracts live in compare_bench's ceilings.
+                drift_text = f"{value - baseline:+.3f} (abs)"
+                bad = False
+                status = "ok (zero baseline)"
+            rows.append(
+                [
+                    bench,
+                    name,
+                    f"{baseline:.4g}",
+                    f"{value:.4g}",
+                    drift_text,
+                    status,
+                ]
+            )
+            if bad:
+                failures.append(
+                    f"{bench}: {name} drifted {drift_text} "
+                    f"({baseline:.4g} -> {value:.4g}, {direction} is better, "
+                    f"band {100.0 * band:.0f}%) [{latest_path}]"
+                )
+    return rows, failures
+
+
+def render_trend(
+    history: Dict[str, List[Tuple[str, Mapping[str, object]]]],
+    band: float = DEFAULT_BAND,
+) -> Tuple[str, List[str]]:
+    """(table text, failures) for ``repro trend``."""
+    rows, failures = trend_rows(history, band=band)
+    table = render_table(
+        f"bench trend (band {100.0 * band:.0f}%, latest vs median of prior)",
+        ["bench", "metric", "baseline", "latest", "drift", "status"],
+        rows or [["(no benches)", "-", "-", "-", "-", "-"]],
+    )
+    return table, failures

@@ -24,6 +24,7 @@ execute the same logical flow produce the same span tree (see
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 from contextlib import contextmanager
@@ -32,6 +33,16 @@ from typing import Dict, Iterator, List, Optional
 #: Bumped when the event shape changes; emitted in ``meta`` events and
 #: checked by :mod:`repro.obs.schema`.
 SCHEMA_VERSION = 1
+
+#: Process-global lane ids.  Lane 0 is the main process; every other
+#: tracer (pool workers, the resource sampler thread) claims a unique
+#: lane so merged traces never interleave two writers in one lane.
+_LANE_COUNTER = itertools.count(1)
+
+
+def allocate_lane() -> int:
+    """Claim a fresh non-zero lane id for a worker or sampler tracer."""
+    return next(_LANE_COUNTER)
 
 #: Recognized event types.
 EVENT_TYPES = ("meta", "span_start", "span_end", "metric")
@@ -76,6 +87,9 @@ class Tracer:
         self._epoch = time.perf_counter()
         self._next_id = 0
         self._stack: List[int] = []
+        #: Optional :class:`repro.obs.profile.SpanProfiler`; when set,
+        #: spans whose names match its glob run under cProfile.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
@@ -109,10 +123,14 @@ class Tracer:
         self.events.append(start)
         self._stack.append(span_id)
         handle = Span(span_id, name)
+        profiler = self.profiler
+        token = profiler.enter(name) if profiler is not None else None
         t0 = time.perf_counter()
         try:
             yield handle
         finally:
+            if token is not None:
+                profiler.exit(token)
             self._stack.pop()
             end: Dict[str, object] = {
                 "type": "span_end",

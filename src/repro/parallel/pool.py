@@ -39,11 +39,12 @@ completion orders.
 from __future__ import annotations
 
 import importlib
-import itertools
 import multiprocessing
 import os
+import threading
 import time
 import traceback
+import weakref
 from collections import deque
 from multiprocessing import connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -56,11 +57,18 @@ from repro.parallel.replica import Replica, ReplicaSpec, VerifyOutcome
 #: Exit code used by the test-only ``crash`` request.
 CRASH_EXIT_CODE = 13
 
-#: Process-global observability lane allocator.  Lane 0 is the main
-#: process; every spawned worker (across *all* pools in this process,
-#: including respawns) gets a fresh lane id so merged traces never
-#: collide on (lane, span-id) keys.
-_LANE_COUNTER = itertools.count(1)
+#: Live-pool registry for the resource sampler: pools register on
+#: construction and deregister on :meth:`WorkerPool.close`, so the
+#: sampler thread can snapshot queue depth / busy fractions without
+#: holding a pool reference.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+_LIVE_POOLS_LOCK = threading.Lock()
+
+
+def live_pools() -> List["WorkerPool"]:
+    """Pools currently open in this process (sampler telemetry source)."""
+    with _LIVE_POOLS_LOCK:
+        return [pool for pool in list(_LIVE_POOLS) if not pool._closed]
 
 
 def effective_cpu_count() -> int:
@@ -205,7 +213,16 @@ def _worker_main(
 class _WorkerHandle:
     """One worker process plus its pipe and delta-sync watermark."""
 
-    __slots__ = ("process", "conn", "synced", "alive", "lane", "last_events")
+    __slots__ = (
+        "process",
+        "conn",
+        "synced",
+        "alive",
+        "lane",
+        "last_events",
+        "busy_since",
+        "busy_s",
+    )
 
     def __init__(self, process, conn, lane: int, synced: int = 0) -> None:
         self.process = process
@@ -216,6 +233,11 @@ class _WorkerHandle:
         self.alive = True
         self.lane = lane  # observability lane id (unique per process)
         self.last_events: List[Dict[str, object]] = []
+        #: Pipe in-flight accounting for the resource sampler: the send
+        #: timestamp of the currently outstanding request (None = idle)
+        #: and the cumulative request-in-flight seconds.
+        self.busy_since: Optional[float] = None
+        self.busy_s = 0.0
 
 
 class WorkerCrash(RuntimeError):
@@ -236,6 +258,7 @@ class WorkerPool:
         mp_context: Optional[str] = None,
         backend: str = "pipe",
         arena: Optional[shm_arena.SharedPlaneArena] = None,
+        tag: str = "pool",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -251,6 +274,12 @@ class WorkerPool:
         self._size = workers
         self._backend = backend
         self._arena = arena
+        self.tag = tag  # telemetry label ("verify", "sweep", "batch"...)
+        self._closed = False
+        #: Tasks queued but not yet dispatched in the overlapped
+        #: scheduler (0 outside a batch / on the static pipe path).
+        #: Plain int assignment, safe to read from the sampler thread.
+        self._queue_depth = 0
         self._workers: List[_WorkerHandle] = []
         self._deltas: List[Move] = []
         #: Global index of ``_deltas[0]`` (compaction drops prefixes).
@@ -278,6 +307,8 @@ class WorkerPool:
         self.last_verify_obs: List[Tuple[int, List[Dict[str, object]]]] = []
         self.last_call_obs: List[Optional[Tuple[int, List[Dict[str, object]]]]] = []
         self._spawn_missing()
+        with _LIVE_POOLS_LOCK:
+            _LIVE_POOLS.add(self)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -297,7 +328,11 @@ class WorkerPool:
         return int(self._arena.meta.get("baseline_index", 0))
 
     def _spawn_one(self) -> _WorkerHandle:
-        lane = next(_LANE_COUNTER)
+        # Lane ids come from the process-global observability allocator
+        # (shared with the resource sampler), so every spawned worker —
+        # across all pools, including respawns — merges into a fresh
+        # lane and (lane, span-id) keys never collide.
+        lane = obs_trace.allocate_lane()
         parent_conn, child_conn = self._ctx.Pipe()
         if self._arena is not None:
             # The worker maps the live arena generation; the spec (and
@@ -325,6 +360,22 @@ class WorkerPool:
             self.stats["rebuilds"] += 1
 
     def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            with _LIVE_POOLS_LOCK:
+                _LIVE_POOLS.discard(self)
+            # Lifetime counters as trace events, so a trace file is
+            # self-contained without the result object's stats dict.
+            tracer = obs_trace.active()
+            if getattr(tracer, "enabled", False):
+                labels = {"pool": self.tag}
+                for counter in ("steals", "requeued", "compactions", "crashes"):
+                    tracer.metric(
+                        f"pool.{counter}",
+                        int(self.stats[counter]),
+                        kind="counter",
+                        labels=labels,
+                    )
         for worker in self._workers:
             if not worker.alive:
                 continue
@@ -364,6 +415,7 @@ class WorkerPool:
     def _send(self, worker: _WorkerHandle, message: Tuple) -> bool:
         try:
             worker.conn.send(message)
+            worker.busy_since = time.perf_counter()
             return True
         except (BrokenPipeError, OSError):
             self._mark_dead(worker)
@@ -375,10 +427,55 @@ class WorkerPool:
         except (EOFError, OSError) as exc:
             self._mark_dead(worker)
             raise WorkerCrash(str(exc)) from exc
+        finally:
+            if worker.busy_since is not None:
+                worker.busy_s += time.perf_counter() - worker.busy_since
+                worker.busy_since = None
         worker.last_events = events
         if status == "err":
             raise WorkerError(payload)
         return payload
+
+    def load_snapshot(self) -> Dict[str, object]:
+        """Point-in-time load view for the resource sampler thread.
+
+        Reads only plain attributes (GIL-atomic), so it is safe to call
+        from another thread while a batch is in flight.  Per-worker
+        entries report the lane id, cumulative in-flight seconds, and
+        whether a request is outstanding right now.
+        """
+        workers = list(self._workers)
+        now = time.perf_counter()
+        per_worker = []
+        for worker in workers:
+            busy_since = worker.busy_since
+            busy_s = worker.busy_s
+            if busy_since is not None:
+                busy_s += max(0.0, now - busy_since)
+            per_worker.append(
+                {
+                    "lane": worker.lane,
+                    "busy": busy_since is not None,
+                    "busy_s": busy_s,
+                    "alive": worker.alive,
+                }
+            )
+        return {
+            "tag": self.tag,
+            "backend": self._backend,
+            "size": self._size,
+            "queue_depth": self._queue_depth,
+            "alive": sum(1 for w in per_worker if w["alive"]),
+            "inflight": sum(1 for w in per_worker if w["busy"]),
+            "workers": per_worker,
+            "steals": int(self.stats["steals"]),
+            "requeued": int(self.stats["requeued"]),
+            "compactions": int(self.stats["compactions"]),
+            "crashes": int(self.stats["crashes"]),
+            "arena_generation": (
+                self._arena.generation if self._arena is not None else 0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Delta stream
@@ -615,6 +712,7 @@ class WorkerPool:
                     dispatched[worker.lane] = count
                     if count > fair:
                         self.stats["steals"] += 1
+                self._queue_depth = len(queue)
                 if not inflight:
                     break  # every worker died; leftovers fail below
                 ready = connection.wait(list(inflight))
@@ -641,6 +739,7 @@ class WorkerPool:
                 steals=int(self.stats["steals"]),
                 requeued=int(self.stats["requeued"]),
             )
+        self._queue_depth = 0
         failed: Set[int] = {index for index, _, _ in queue}
         return shards, failed, groups
 
@@ -722,6 +821,7 @@ class WorkerPool:
                     inflight[worker.conn] = (worker, position)
                 else:
                     queue.appendleft(position)
+            self._queue_depth = len(queue)
             if not inflight:
                 break
             for conn in connection.wait(list(inflight)):
@@ -736,6 +836,7 @@ class WorkerPool:
                         worker.last_events,
                     )
                 idle.append(worker)
+        self._queue_depth = 0
         return results
 
     # ------------------------------------------------------------------

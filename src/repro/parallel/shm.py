@@ -34,8 +34,10 @@ import itertools
 import os
 import pickle
 import struct
+import threading
+import weakref
 from multiprocessing import shared_memory
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -46,6 +48,40 @@ from repro.obs import trace as obs_trace
 ARENA_PREFIX = "repro-arena"
 
 _ARENA_COUNTER = itertools.count(1)
+
+#: Live-arena registry for the resource sampler: every
+#: :class:`SharedPlaneArena` registers itself on construction and is
+#: dropped automatically (WeakSet) or on :meth:`~SharedPlaneArena.close`.
+_LIVE_ARENAS: "weakref.WeakSet[SharedPlaneArena]" = weakref.WeakSet()
+_LIVE_ARENAS_LOCK = threading.Lock()
+
+
+def live_arena_stats() -> Dict[str, object]:
+    """Point-in-time view of owned /dev/shm segments for telemetry.
+
+    Returns ``{"segments": n, "bytes": total, "arenas": [...]}`` where
+    each arena entry carries its tag, current generation and published
+    bytes.  Thread-safe: the sampler thread calls this while the main
+    thread publishes new generations.
+    """
+    arenas: List[Dict[str, object]] = []
+    with _LIVE_ARENAS_LOCK:
+        live = list(_LIVE_ARENAS)
+    segments = 0
+    total = 0
+    for arena in live:
+        if arena._segment is None:
+            continue
+        segments += 1
+        total += arena.bytes_shared
+        arenas.append(
+            {
+                "tag": arena.tag,
+                "generation": arena.generation,
+                "bytes": arena.bytes_shared,
+            }
+        )
+    return {"segments": segments, "bytes": total, "arenas": arenas}
 
 _ALIGN = 64
 _LEN_FMT = "<Q"
@@ -139,6 +175,7 @@ class SharedPlaneArena:
     """Main-process owner of the generation-versioned shared segments."""
 
     def __init__(self, tag: str = "pool") -> None:
+        self.tag = tag
         self._base = (
             f"{ARENA_PREFIX}-{os.getpid()}-{next(_ARENA_COUNTER)}-{tag}"
         )
@@ -147,6 +184,8 @@ class SharedPlaneArena:
         self.generation = 0
         self.meta: Dict[str, Any] = {}
         self.bytes_shared = 0
+        with _LIVE_ARENAS_LOCK:
+            _LIVE_ARENAS.add(self)
 
     def export(
         self,
@@ -246,6 +285,8 @@ class SharedPlaneArena:
             self._discard(self._segment)
             self._segment = None
             self.name = None
+        with _LIVE_ARENAS_LOCK:
+            _LIVE_ARENAS.discard(self)
 
 
 def attach(name: str) -> ArenaView:

@@ -79,6 +79,7 @@ class ParallelVerifier:
             mp_context=mp_context,
             backend=backend,
             arena=self._arena,
+            tag="verify",
         )
         self._serial_fallbacks = 0
 

@@ -91,9 +91,12 @@ class TestTraceCLI:
         assert args.validate is False
         assert args.compare_tree is None
 
-    def test_report_requires_trace(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["report"])
+    def test_report_requires_trace_or_perf_diff(self, capsys):
+        # ``--trace`` is optional at parse time (``--perf-diff`` is the
+        # alternative input), so the missing-input error is a graceful
+        # exit-2, not an argparse SystemExit.
+        assert main(["report"]) == 2
+        assert "--trace" in capsys.readouterr().err
 
     def test_report_golden_output(self, capsys, data_dir):
         # The committed MINI trace has a byte-stable report: rendering is
